@@ -1,0 +1,52 @@
+//! AMG setup and V-cycle application cost vs strength threshold — the
+//! `-pc_gamg_threshold` trade-off of §IV-B.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kryst_dense::DMat;
+use kryst_par::PrecondOp;
+use kryst_pde::poisson::poisson2d;
+use kryst_precond::{Amg, AmgOpts, SmootherKind};
+
+fn bench_amg(c: &mut Criterion) {
+    let prob = poisson2d::<f64>(64, 32); // anisotropic grid: threshold matters
+    let n = prob.a.nrows();
+    let r = DMat::from_fn(n, 1, |i, _| ((i % 9) as f64) - 4.0);
+
+    let mut g = c.benchmark_group("amg_setup");
+    for thr in [0.0f64, 0.2] {
+        g.bench_with_input(BenchmarkId::from_parameter(thr), &thr, |bch, &thr| {
+            bch.iter(|| {
+                Amg::new(
+                    &prob.a,
+                    prob.near_nullspace.as_ref(),
+                    &AmgOpts { threshold: thr, ..Default::default() },
+                )
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("amg_vcycle");
+    for (name, smoother) in [
+        ("chebyshev2", SmootherKind::Chebyshev { degree: 2 }),
+        ("gmres3", SmootherKind::Gmres { iters: 3 }),
+        ("jacobi2", SmootherKind::Jacobi { omega: 0.67, iters: 2 }),
+    ] {
+        let amg = Amg::new(
+            &prob.a,
+            prob.near_nullspace.as_ref(),
+            &AmgOpts { smoother, ..Default::default() },
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(name), &amg, |bch, amg| {
+            bch.iter(|| amg.apply_new(&r));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_amg
+}
+criterion_main!(benches);

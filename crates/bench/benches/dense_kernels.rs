@@ -1,0 +1,58 @@
+//! Dense kernels on GCRO-DR-sized problems: gemm, incremental QR,
+//! eigen-solves of the deflation dimension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kryst_dense::qr::IncrementalQr;
+use kryst_dense::{blas, eig, DMat};
+
+fn bench_dense(c: &mut Criterion) {
+    // Basis update gemm: tall-skinny times small (the solution update).
+    let n = 50_000;
+    let v = DMat::from_fn(n, 30, |i, j| ((i + j * 7) % 11) as f64 - 5.0);
+    let y = DMat::from_fn(30, 1, |i, _| i as f64 * 0.1);
+    c.bench_function("gemm_tall_50000x30_x1", |bch| {
+        bch.iter(|| blas::matmul(&v, blas::Op::None, &y, blas::Op::None));
+    });
+    c.bench_function("gram_50000x30", |bch| {
+        bch.iter(|| blas::adjoint_times(&v, &v));
+    });
+
+    // Incremental QR of a block Hessenberg (m = 30, p = 4).
+    c.bench_function("incremental_qr_m30_p4", |bch| {
+        let p = 4;
+        let m = 30;
+        let s1 = DMat::from_fn(p, p, |i, j| if i <= j { 1.0 + (i + j) as f64 } else { 0.0 });
+        bch.iter(|| {
+            let mut qr = IncrementalQr::new(m, p);
+            qr.reset(&s1);
+            for j in 0..m {
+                let col = DMat::from_fn((j + 2) * p, p, |i, q| ((i * 7 + q) % 13) as f64 - 6.0);
+                qr.push_block(&col);
+            }
+            qr.solve_y()
+        });
+    });
+
+    // Deflation eigenproblem sizes.
+    let mut g = c.benchmark_group("eig_deflation");
+    for m in [30usize, 60, 120] {
+        let a = DMat::from_fn(m, m, |i, j| {
+            if i <= j + 1 {
+                (((i * 5 + j * 3) % 17) as f64 - 8.0) / 4.0 + if i == j { 5.0 } else { 0.0 }
+            } else {
+                0.0
+            }
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(m), &a, |bch, a| {
+            bch.iter(|| eig::eig(a));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_dense
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Block orthogonalization backends (CholQR vs CGS vs MGS vs IMGS vs TSQR)
+//! — the §III-A choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kryst_dense::gs::{orthogonalize_block, OrthScheme};
+use kryst_dense::{chol, tsqr, DMat};
+
+fn basis(n: usize, k: usize) -> DMat<f64> {
+    let mut v = DMat::from_fn(n, k, |i, j| ((i * 7 + j * 13) % 19) as f64 - 9.0);
+    let _ = chol::cholqr(&mut v);
+    v
+}
+
+fn bench_orth(c: &mut Criterion) {
+    let n = 20_000;
+    let v = basis(n, 20);
+    let w0 = DMat::from_fn(n, 4, |i, j| ((i * 3 + j * 11) % 23) as f64 - 11.0);
+    let mut g = c.benchmark_group("orth_against_20_block_4");
+    for (name, scheme) in [
+        ("cholqr", OrthScheme::CholQr),
+        ("cgs", OrthScheme::Cgs),
+        ("mgs", OrthScheme::Mgs),
+        ("imgs", OrthScheme::Imgs),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |bch, &scheme| {
+            bch.iter(|| {
+                let mut w = w0.clone();
+                orthogonalize_block(&v, 20, &mut w, scheme)
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("tsqr_tall_skinny");
+    for blocks in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |bch, &blocks| {
+            bch.iter(|| {
+                let mut w = w0.clone();
+                tsqr::tsqr_orthonormalize(&mut w, blocks)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_orth
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! SpMM arithmetic-intensity scaling with the number of RHS columns —
+//! the kernel argument of the paper's §V-B2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kryst_dense::DMat;
+use kryst_pde::poisson::poisson2d;
+
+fn bench_spmm(c: &mut Criterion) {
+    let prob = poisson2d::<f64>(96, 96);
+    let n = prob.a.nrows();
+    let mut g = c.benchmark_group("spmm");
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let x = DMat::from_fn(n, p, |i, j| ((i + j) % 13) as f64 - 6.0);
+        g.throughput(Throughput::Elements((prob.a.nnz() * p) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bch, _| {
+            let mut y = DMat::zeros(n, p);
+            bch.iter(|| prob.a.spmm(&x, &mut y));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_spmm
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Fig. 4 — GMRES convergence of standard preconditioners vs ORAS on
+//! time-harmonic Maxwell.
+//!
+//! Paper setting (§V-A): the complex-symmetric, indefinite curl–curl system
+//! defeats ASM (overlap 1 and 2) and GAMG, while the optimized Schwarz
+//! preconditioner `M⁻¹_ORAS` (eq. 6, impedance interface conditions)
+//! converges. Same comparison here on the scaled-down chamber.
+
+use kryst_bench::{rule, time};
+use kryst_core::{gmres, OrthScheme, PrecondSide, SolveOpts};
+use kryst_dense::DMat;
+use kryst_par::PrecondOp;
+use kryst_pde::maxwell::{antenna_ring_rhs, maxwell3d, MaxwellParams};
+use kryst_precond::{Amg, AmgOpts, Schwarz, SchwarzOpts, SchwarzVariant, SmootherKind};
+use kryst_scalar::C64;
+use kryst_sparse::partition::partition_rcb;
+
+fn run(
+    label: &str,
+    a: &kryst_sparse::Csr<C64>,
+    pc: &dyn PrecondOp<C64>,
+    b: &DMat<C64>,
+    max_iters: usize,
+) {
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        restart: 200,
+        max_iters,
+        side: PrecondSide::Right,
+        orth: OrthScheme::Imgs,
+        ..Default::default()
+    };
+    let mut x = DMat::<C64>::zeros(a.nrows(), b.ncols());
+    let (res, secs) = time(|| gmres::solve(a, pc, b, &mut x, &opts));
+    let status = if res.converged { "converged" } else { "NOT converged" };
+    println!(
+        "\n{label}: {} iterations, final rel. residual {:.3e}, {secs:.2}s ({status})",
+        res.iterations,
+        res.final_relres.iter().cloned().fold(0.0f64, f64::max)
+    );
+    kryst_bench::print_curve(label, &res.history);
+}
+
+fn main() {
+    let nc = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let nsub = 8;
+    println!("Fig. 4 — Maxwell preconditioner comparison, nc = {nc}, {nsub} subdomains");
+    let params = MaxwellParams::chamber_hard(nc);
+    let (prob, geom) = maxwell3d(&params);
+    let n = prob.a.nrows();
+    println!("n = {n} complex edge unknowns, ω = {}", params.omega);
+    rule();
+    let b = antenna_ring_rhs(&geom, &params, 1, 0.3, 0.5);
+    let part = partition_rcb(&prob.coords, nsub);
+
+    let oras = Schwarz::new(
+        &prob.a,
+        &part,
+        &SchwarzOpts { variant: SchwarzVariant::Oras, overlap: 2, impedance: params.omega },
+    );
+    run("M⁻¹_ORAS (eq. 6)", &prob.a, &oras, &b, 400);
+
+    let asm1 = Schwarz::new(
+        &prob.a,
+        &part,
+        &SchwarzOpts { variant: SchwarzVariant::Asm, overlap: 1, impedance: 0.0 },
+    );
+    run("ASM overlap 1", &prob.a, &asm1, &b, 400);
+
+    let asm2 = Schwarz::new(
+        &prob.a,
+        &part,
+        &SchwarzOpts { variant: SchwarzVariant::Asm, overlap: 2, impedance: 0.0 },
+    );
+    run("ASM overlap 2", &prob.a, &asm2, &b, 400);
+
+    let amg = Amg::new(
+        &prob.a,
+        None,
+        &AmgOpts { smoother: SmootherKind::Jacobi { omega: 0.6, iters: 2 }, ..Default::default() },
+    );
+    run("GAMG", &prob.a, &amg, &b, 400);
+
+    rule();
+    println!(
+        "Expected shape (paper Fig. 4): ORAS reaches 1e-8 in O(50–100) iterations;\n\
+         ASM and GAMG stagnate or converge much more slowly on the indefinite system."
+    );
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! `kryst-core` — the paper's contribution: a uniform implementation of
+//! **(pseudo-)block GMRES** and **(pseudo-)block GCRO-DR** with right, left,
+//! or variable (flexible) preconditioning, Krylov-subspace recycling across
+//! sequences of linear systems, a fast path for non-variable sequences
+//! (`same_system`), and the two deflation eigenproblem formulations
+//! (strategies A/B, eqs. (3a)/(3b)).
+//!
+//! Baselines for the paper's comparisons are included: restarted GMRES /
+//! FGMRES, LGMRES(m,k) ("Loose GMRES", the PETSc augmented method of
+//! §IV-C), CG, and O'Leary's Block CG.
+//!
+//! # Quick start
+//!
+//! ```
+//! use kryst_core::{gmres, gcrodr, SolveOpts, SolverContext};
+//! use kryst_dense::DMat;
+//! use kryst_par::IdentityPrecond;
+//! use kryst_pde::poisson::poisson2d;
+//!
+//! let p = poisson2d::<f64>(16, 16);
+//! let n = p.a.nrows();
+//! let b = DMat::from_fn(n, 1, |i, _| (i % 5) as f64);
+//! let m = IdentityPrecond::new(n);
+//! let opts = SolveOpts { rtol: 1e-8, ..Default::default() };
+//!
+//! // One-shot GMRES.
+//! let mut x = DMat::zeros(n, 1);
+//! let res = gmres::solve(&p.a, &m, &b, &mut x, &opts);
+//! assert!(res.converged);
+//!
+//! // GCRO-DR recycles Krylov information across solves through a context.
+//! let mut ctx = SolverContext::new();
+//! let mut x1 = DMat::zeros(n, 1);
+//! let r1 = gcrodr::solve(&p.a, &m, &b, &mut x1, &opts, &mut ctx);
+//! let mut x2 = DMat::zeros(n, 1);
+//! let r2 = gcrodr::solve(&p.a, &m, &b, &mut x2, &opts, &mut ctx);
+//! assert!(r2.iterations < r1.iterations); // recycling pays off
+//! ```
+
+pub mod bcg;
+pub mod cg;
+pub mod cycle;
+pub mod gcrodr;
+pub mod gmres;
+pub mod lgmres;
+pub mod opts;
+pub mod pseudo;
+
+pub use opts::{
+    PrecondSide, RecycleStrategy, SolveOpts, SolveResult,
+};
+pub use cycle::PrecondMode;
+pub use gcrodr::{RecycleSpace, SolverContext};
+
+pub use kryst_dense::gs::OrthScheme;

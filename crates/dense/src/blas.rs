@@ -1,0 +1,241 @@
+//! BLAS-3-style general matrix–matrix multiply.
+//!
+//! `gemm` computes `C ⟵ α·op(A)·op(B) + β·C` where `op` is identity,
+//! transpose, or conjugate transpose. For the block Krylov solvers the two
+//! hot shapes are tall–skinny × small (basis updates) and
+//! small-adjoint × tall–skinny (Gram / projection coefficients); both are
+//! parallelized over the columns of `C` with rayon once the work is large
+//! enough to amortize the fork–join.
+
+use crate::DMat;
+use kryst_scalar::Scalar;
+use rayon::prelude::*;
+
+/// How an operand enters the product.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Use the matrix as stored.
+    None,
+    /// Use the transpose.
+    Trans,
+    /// Use the conjugate transpose (adjoint).
+    ConjTrans,
+}
+
+impl Op {
+    /// Rows of `op(A)` given the stored shape.
+    fn rows(self, a: &DMat<impl Scalar>) -> usize {
+        match self {
+            Op::None => a.nrows(),
+            _ => a.ncols(),
+        }
+    }
+    /// Columns of `op(A)` given the stored shape.
+    fn cols(self, a: &DMat<impl Scalar>) -> usize {
+        match self {
+            Op::None => a.ncols(),
+            _ => a.nrows(),
+        }
+    }
+}
+
+/// Work threshold (in multiply–adds) below which gemm stays single-threaded.
+const PAR_THRESHOLD: usize = 64 * 1024;
+
+/// `C ⟵ α·op(A)·op(B) + β·C`.
+///
+/// Panics on dimension mismatch.
+pub fn gemm<S: Scalar>(
+    alpha: S,
+    a: &DMat<S>,
+    opa: Op,
+    b: &DMat<S>,
+    opb: Op,
+    beta: S,
+    c: &mut DMat<S>,
+) {
+    let m = opa.rows(a);
+    let k = opa.cols(a);
+    let k2 = opb.rows(b);
+    let n = opb.cols(b);
+    assert_eq!(k, k2, "gemm: inner dimensions {k} vs {k2}");
+    assert_eq!(c.nrows(), m, "gemm: C row mismatch");
+    assert_eq!(c.ncols(), n, "gemm: C col mismatch");
+
+    let work = m * n * k;
+    let ldc = c.nrows();
+    let cdata = c.as_mut_slice();
+
+    let col_kernel = |j: usize, ccol: &mut [S]| {
+        // Scale the output column first.
+        if beta == S::zero() {
+            ccol.iter_mut().for_each(|x| *x = S::zero());
+        } else if beta != S::one() {
+            ccol.iter_mut().for_each(|x| *x *= beta);
+        }
+        match (opa, opb) {
+            (Op::None, Op::None) => {
+                // C[:,j] += alpha * A * B[:,j]  — stream columns of A (axpy form).
+                let bcol = b.col(j);
+                for l in 0..k {
+                    let blj = alpha * bcol[l];
+                    if blj == S::zero() {
+                        continue;
+                    }
+                    let acol = a.col(l);
+                    for i in 0..m {
+                        ccol[i] += acol[i] * blj;
+                    }
+                }
+            }
+            (Op::ConjTrans, Op::None) => {
+                // C[i,j] += alpha * conj(A[:,i]) · B[:,j]  — dot form.
+                let bcol = b.col(j);
+                for i in 0..m {
+                    let acol = a.col(i);
+                    let mut acc = S::zero();
+                    for l in 0..k {
+                        acc += acol[l].conj() * bcol[l];
+                    }
+                    ccol[i] += alpha * acc;
+                }
+            }
+            (Op::Trans, Op::None) => {
+                let bcol = b.col(j);
+                for i in 0..m {
+                    let acol = a.col(i);
+                    let mut acc = S::zero();
+                    for l in 0..k {
+                        acc += acol[l] * bcol[l];
+                    }
+                    ccol[i] += alpha * acc;
+                }
+            }
+            _ => {
+                // General fallback for transposed B: elementwise definition.
+                for i in 0..m {
+                    let mut acc = S::zero();
+                    for l in 0..k {
+                        let aval = match opa {
+                            Op::None => a[(i, l)],
+                            Op::Trans => a[(l, i)],
+                            Op::ConjTrans => a[(l, i)].conj(),
+                        };
+                        let bval = match opb {
+                            Op::None => b[(l, j)],
+                            Op::Trans => b[(j, l)],
+                            Op::ConjTrans => b[(j, l)].conj(),
+                        };
+                        acc += aval * bval;
+                    }
+                    ccol[i] += alpha * acc;
+                }
+            }
+        }
+    };
+
+    if work >= PAR_THRESHOLD && n > 1 {
+        cdata
+            .par_chunks_mut(ldc)
+            .enumerate()
+            .for_each(|(j, ccol)| col_kernel(j, ccol));
+    } else {
+        for (j, ccol) in cdata.chunks_mut(ldc).enumerate() {
+            col_kernel(j, ccol);
+        }
+    }
+}
+
+/// Convenience: allocate and return `op(A)·op(B)`.
+pub fn matmul<S: Scalar>(a: &DMat<S>, opa: Op, b: &DMat<S>, opb: Op) -> DMat<S> {
+    let mut c = DMat::zeros(opa.rows(a), opb.cols(b));
+    gemm(S::one(), a, opa, b, opb, S::zero(), &mut c);
+    c
+}
+
+/// Gram matrix `Aᴴ·B` — one fused "reduction" in the distributed setting.
+pub fn adjoint_times<S: Scalar>(a: &DMat<S>, b: &DMat<S>) -> DMat<S> {
+    matmul(a, Op::ConjTrans, b, Op::None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kryst_scalar::C64;
+
+    fn naive<S: Scalar>(a: &DMat<S>, b: &DMat<S>) -> DMat<S> {
+        DMat::from_fn(a.nrows(), b.ncols(), |i, j| {
+            let mut acc = S::zero();
+            for l in 0..a.ncols() {
+                acc += a[(i, l)] * b[(l, j)];
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn gemm_matches_naive_real() {
+        let a = DMat::<f64>::from_fn(7, 5, |i, j| (i as f64 - 2.0) * (j as f64 + 1.0) + 0.5);
+        let b = DMat::<f64>::from_fn(5, 4, |i, j| (i + 2 * j) as f64 - 3.0);
+        let c = matmul(&a, Op::None, &b, Op::None);
+        let r = naive(&a, &b);
+        for i in 0..7 {
+            for j in 0..4 {
+                assert!((c[(i, j)] - r[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_adjoint_complex() {
+        let a = DMat::<C64>::from_fn(6, 3, |i, j| C64::from_parts(i as f64, (j as f64) - 1.0));
+        let b = DMat::<C64>::from_fn(6, 2, |i, j| C64::from_parts((i * j) as f64, 1.0));
+        let c = adjoint_times(&a, &b);
+        let ah = a.adjoint();
+        let r = naive(&ah, &b);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((c[(i, j)] - r[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_with_beta() {
+        let a = DMat::<f64>::eye(3);
+        let b = DMat::<f64>::from_fn(3, 3, |i, j| (i + j) as f64);
+        let mut c = DMat::<f64>::from_fn(3, 3, |i, j| if i == j { 10.0 } else { 0.0 });
+        gemm(2.0, &a, Op::None, &b, Op::None, 0.5, &mut c);
+        // c = 2*b + 0.5*diag(10)
+        assert_eq!(c[(0, 0)], 5.0);
+        assert_eq!(c[(1, 2)], 6.0);
+        assert_eq!(c[(2, 2)], 13.0);
+    }
+
+    #[test]
+    fn gemm_trans_b_fallback() {
+        let a = DMat::<f64>::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let b = DMat::<f64>::from_fn(5, 4, |i, j| (i as f64) - (j as f64));
+        let c = matmul(&a, Op::None, &b, Op::Trans);
+        let bt = b.transpose();
+        let r = naive(&a, &bt);
+        for i in 0..3 {
+            for j in 0..5 {
+                assert!((c[(i, j)] - r[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn large_gemm_parallel_path_consistent() {
+        let a = DMat::<f64>::from_fn(200, 60, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let b = DMat::<f64>::from_fn(60, 50, |i, j| ((i * 17 + j * 3) % 11) as f64 - 5.0);
+        let c = matmul(&a, Op::None, &b, Op::None);
+        let r = naive(&a, &b);
+        for i in (0..200).step_by(37) {
+            for j in (0..50).step_by(7) {
+                assert!((c[(i, j)] - r[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+}

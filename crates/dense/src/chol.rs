@@ -1,0 +1,309 @@
+//! Cholesky factorization and CholQR orthogonalization.
+//!
+//! The paper (§III-A) uses **CholQR** to orthogonalize blocks of `p·k`
+//! vectors in a single global reduction: form the Gram matrix `G = VᴴV`
+//! (one all-reduce in the distributed setting), factor `G = RᴴR` redundantly
+//! on every process, and scale `Q = V·R⁻¹`. The **rank-revealing** variant
+//! (pivoted Cholesky with a drop tolerance) is what §V-C uses "for detecting
+//! breakdowns at each restart" of the block methods.
+
+use crate::blas;
+use crate::tri;
+use crate::DMat;
+use kryst_scalar::{Real, Scalar};
+
+/// Plain (unpivoted) Cholesky `A = RᴴR` of a Hermitian positive-definite
+/// matrix; returns the upper-triangular `R`, or `None` if a non-positive
+/// pivot is met.
+pub fn cholesky<S: Scalar>(a: &DMat<S>) -> Option<DMat<S>> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols());
+    let mut r: DMat<S> = DMat::zeros(n, n);
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = a[(j, j)].re();
+        for k in 0..j {
+            d -= r[(k, j)].abs_sqr();
+        }
+        if d <= S::Real::zero() || !d.is_finite() {
+            return None;
+        }
+        let rjj = d.sqrt();
+        r[(j, j)] = S::from_real(rjj);
+        // Off-diagonal row j of R.
+        for i in j + 1..n {
+            let mut v = a[(j, i)];
+            for k in 0..j {
+                v -= r[(k, j)].conj() * r[(k, i)];
+            }
+            r[(j, i)] = v / S::from_real(rjj);
+        }
+    }
+    Some(r)
+}
+
+/// Result of a pivoted (rank-revealing) Cholesky factorization.
+pub struct PivotedCholesky<S> {
+    /// Upper-triangular factor of the permuted matrix: `Pᵀ·A·P = RᴴR`.
+    pub r: DMat<S>,
+    /// Column permutation: `perm[k]` is the original index of pivot `k`.
+    pub perm: Vec<usize>,
+    /// Numerical rank detected with the relative drop tolerance.
+    pub rank: usize,
+}
+
+/// Pivoted Cholesky with diagonal pivoting; stops when the largest remaining
+/// diagonal falls below `tol · max_initial_diagonal`.
+pub fn pivoted_cholesky<S: Scalar>(a: &DMat<S>, tol: S::Real) -> PivotedCholesky<S> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols());
+    let mut work = a.clone();
+    let mut r = DMat::zeros(n, n);
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut diag_max = S::Real::zero();
+    for i in 0..n {
+        diag_max = diag_max.max(work[(i, i)].re());
+    }
+    let threshold = diag_max * tol;
+    let mut rank = 0;
+    for k in 0..n {
+        // Find the pivot: largest remaining diagonal.
+        let mut best = k;
+        let mut best_val = work[(k, k)].re();
+        for i in k + 1..n {
+            let v = work[(i, i)].re();
+            if v > best_val {
+                best = i;
+                best_val = v;
+            }
+        }
+        if best_val <= threshold || !best_val.is_finite() {
+            break;
+        }
+        // Symmetric permutation of `work` and the computed rows of `r`.
+        if best != k {
+            work.swap_rows(k, best);
+            work.swap_cols(k, best);
+            r.swap_cols(k, best);
+            perm.swap(k, best);
+        }
+        let rkk = best_val.sqrt();
+        r[(k, k)] = S::from_real(rkk);
+        for j in k + 1..n {
+            r[(k, j)] = work[(k, j)] / S::from_real(rkk);
+        }
+        // Rank-1 downdate of the trailing block.
+        for j in k + 1..n {
+            for i in k + 1..=j {
+                let upd = r[(k, i)].conj() * r[(k, j)];
+                let v = work[(i, j)] - upd;
+                work[(i, j)] = v;
+                if i != j {
+                    work[(j, i)] = v.conj();
+                }
+            }
+        }
+        rank = k + 1;
+    }
+    PivotedCholesky { r, perm, rank }
+}
+
+/// Outcome of a CholQR orthogonalization.
+pub struct CholQr<S: Scalar> {
+    /// Upper-triangular factor with `V = Q·R`.
+    pub r: DMat<S>,
+    /// Numerical rank of the block (equal to `ncols` when no breakdown).
+    pub rank: usize,
+    /// Smallest/largest diagonal ratio seen — a cheap conditioning estimate.
+    pub cond_estimate: S::Real,
+}
+
+/// CholQR: orthogonalize the columns of `v` in place.
+///
+/// One Gram-matrix product (a single reduction in the distributed setting,
+/// cf. §III-D), one redundant Cholesky, one triangular right-solve. If the
+/// Gram matrix is not numerically positive definite the factorization falls
+/// back to the **rank-revealing** pivoted variant and the near-dependent
+/// columns are replaced by re-orthogonalized unit vectors, mirroring the
+/// paper's breakdown detection.
+pub fn cholqr<S: Scalar>(v: &mut DMat<S>) -> CholQr<S> {
+    let p = v.ncols();
+    let gram = blas::adjoint_times(v, v);
+    if let Some(r) = cholesky(&gram) {
+        let mut dmin = S::Real::max_value();
+        let mut dmax = S::Real::zero();
+        for j in 0..p {
+            let d = r[(j, j)].re();
+            dmin = dmin.min(d);
+            dmax = dmax.max(d);
+        }
+        // Well-conditioned: accept the plain factorization.
+        let eps_cut = S::Real::epsilon().sqrt();
+        if dmax > S::Real::zero() && dmin > dmax * eps_cut {
+            tri::right_solve_upper(v, &r);
+            return CholQr { r, rank: p, cond_estimate: dmin / dmax };
+        }
+    }
+    // Breakdown path: rank-revealing factorization of the Gram matrix.
+    let piv = pivoted_cholesky(&gram, S::Real::epsilon() * S::Real::from_f64(16.0));
+    rank_revealing_fixup(v, piv)
+}
+
+/// Apply the pivoted-Cholesky factor to produce an orthonormal `Q` spanning
+/// the numerical range, with deficient columns replaced (re-orthogonalized
+/// canonical directions) so downstream code always sees a full block.
+fn rank_revealing_fixup<S: Scalar>(v: &mut DMat<S>, piv: PivotedCholesky<S>) -> CholQr<S> {
+    let p = v.ncols();
+    let rank = piv.rank.max(1).min(p);
+    // Permute columns of V to pivot order, solve against the leading rank×rank R.
+    let mut vp = DMat::zeros(v.nrows(), p);
+    for k in 0..p {
+        vp.col_mut(k).copy_from_slice(v.col(piv.perm[k]));
+    }
+    let r_lead = piv.r.block(0, 0, rank, rank);
+    let mut q_lead = vp.cols(0, rank);
+    tri::right_solve_upper(&mut q_lead, &r_lead);
+    // Deficient trailing columns: replace with canonical vectors
+    // orthogonalized against the leading block (two MGS passes).
+    for k in rank..p {
+        let n = v.nrows();
+        let mut e = vec![S::zero(); n];
+        e[k % n] = S::one();
+        for _pass in 0..2 {
+            for j in 0..rank {
+                let qj = q_lead.col(j);
+                let mut dot = S::zero();
+                for (qi, ei) in qj.iter().zip(e.iter()) {
+                    dot += qi.conj() * *ei;
+                }
+                for (qi, ei) in qj.iter().zip(e.iter_mut()) {
+                    *ei -= dot * *qi;
+                }
+            }
+        }
+        let mut nrm = S::Real::zero();
+        for x in &e {
+            nrm += x.abs_sqr();
+        }
+        let nrm = nrm.sqrt();
+        let inv = S::one() / S::from_real(nrm);
+        for x in &mut e {
+            *x *= inv;
+        }
+        q_lead = q_lead.hcat(&DMat::from_vec(e));
+    }
+    // Un-permute columns back: column perm[k] of the result is q_lead[:,k].
+    for k in 0..p {
+        v.col_mut(piv.perm[k]).copy_from_slice(q_lead.col(k));
+    }
+    // R in original column order: R_orig = R_piv · Pᵀ restricted to leading rank rows.
+    let mut r = DMat::zeros(p, p);
+    for k in 0..p {
+        for i in 0..rank.min(k + 1) {
+            // entry (i, perm[k]) of the unpermuted factor
+            r[(i, piv.perm[k])] = piv.r[(i, k)];
+        }
+    }
+    CholQr { r, rank, cond_estimate: S::Real::zero() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{matmul, Op};
+    use kryst_scalar::C64;
+
+    #[test]
+    fn cholesky_reconstructs() {
+        // SPD matrix: B + n·I with B = MᴴM.
+        let m = DMat::<f64>::from_fn(5, 5, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
+        let mut a = matmul(&m, Op::ConjTrans, &m, Op::None);
+        for i in 0..5 {
+            a[(i, i)] += 5.0;
+        }
+        let r = cholesky(&a).expect("SPD");
+        let rtr = matmul(&r, Op::ConjTrans, &r, Op::None);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((rtr[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = DMat::<f64>::eye(3);
+        a[(2, 2)] = -1.0;
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn cholqr_orthogonalizes_well_conditioned_block() {
+        let mut v = DMat::<f64>::from_fn(40, 4, |i, j| {
+            ((i * 17 + j * 5) % 13) as f64 - 6.0 + if i == j { 20.0 } else { 0.0 }
+        });
+        let orig = v.clone();
+        let out = cholqr(&mut v);
+        assert_eq!(out.rank, 4);
+        let g = matmul(&v, Op::ConjTrans, &v, Op::None);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - expect).abs() < 1e-10, "Gram ({i},{j}) = {}", g[(i, j)]);
+            }
+        }
+        // V = Q·R
+        let qr = matmul(&v, Op::None, &out.r, Op::None);
+        for i in 0..40 {
+            for j in 0..4 {
+                assert!((qr[(i, j)] - orig[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cholqr_complex() {
+        let mut v = DMat::<C64>::from_fn(30, 3, |i, j| {
+            C64::from_parts(((i + j * 7) % 11) as f64 - 5.0, ((i * 3 + j) % 5) as f64)
+        });
+        let out = cholqr(&mut v);
+        assert_eq!(out.rank, 3);
+        let g = matmul(&v, Op::ConjTrans, &v, Op::None);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)].re() - expect).abs() < 1e-10);
+                assert!(g[(i, j)].im().abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholqr_detects_rank_deficiency() {
+        // Two identical columns → rank 2 of 3.
+        let mut v = DMat::<f64>::from_fn(20, 3, |i, j| match j {
+            0 => (i as f64).sin(),
+            1 => (i as f64).cos(),
+            _ => (i as f64).sin(), // duplicate of column 0
+        });
+        let out = cholqr(&mut v);
+        assert_eq!(out.rank, 2, "duplicate column must be detected");
+        // Output block is still orthonormal.
+        let g = matmul(&v, Op::ConjTrans, &v, Op::None);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - expect).abs() < 1e-8, "Gram ({i},{j}) = {}", g[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn pivoted_cholesky_rank() {
+        // Gram matrix of rank 2.
+        let b = DMat::<f64>::from_fn(6, 2, |i, j| (i + j + 1) as f64 * if j == 0 { 1.0 } else { -0.3 });
+        let v = matmul(&b, Op::None, &b.transpose(), Op::None); // 6×6 rank ≤ 2
+        let piv = pivoted_cholesky(&v, 1e-12);
+        assert_eq!(piv.rank, 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Gram–Schmidt orthogonalization schemes.
+//!
+//! The Arnoldi step of every solver in `kryst-core` orthogonalizes the new
+//! candidate block `W` against the existing basis `V` and then within itself.
+//! The paper's §III-D counts the *global reductions* of each scheme, which is
+//! why several are provided:
+//!
+//! * **Classical (CGS)** — one fused projection (`VᴴW` in one reduction) but
+//!   less stable,
+//! * **Modified (MGS)** — one reduction *per basis column*, the stable
+//!   textbook choice,
+//! * **Iterated Modified (IMGS)** — Belos' default: MGS repeated until the
+//!   norm stops dropping (here: a fixed two passes, the standard
+//!   "twice-is-enough" criterion),
+//! * **CholQR** for the intra-block step (see [`crate::chol`]).
+
+use crate::blas::{self, Op};
+use crate::chol;
+use crate::DMat;
+use kryst_scalar::{Real, Scalar};
+
+/// Which orthogonalization scheme the solvers use.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OrthScheme {
+    /// Classical Gram–Schmidt (single fused reduction), re-orthogonalized once.
+    Cgs,
+    /// Modified Gram–Schmidt.
+    Mgs,
+    /// Iterated (two-pass) modified Gram–Schmidt — Belos' default.
+    Imgs,
+    /// Cholesky-QR for the intra-block factorization (paper's choice).
+    CholQr,
+}
+
+/// Projection coefficients produced by [`orthogonalize_block`]: the new block
+/// satisfies `W_orig = V·C + Q·R` with `Q` the orthonormalized output block.
+pub struct BlockOrth<S: Scalar> {
+    /// Coefficients against the existing basis (`V.ncols() × p`).
+    pub coeffs: DMat<S>,
+    /// Intra-block triangular factor (`p × p`).
+    pub r: DMat<S>,
+    /// Numerical rank of the block after projection.
+    pub rank: usize,
+    /// Number of global reductions this call would cost in a distributed run.
+    pub reductions: usize,
+}
+
+/// Orthogonalize `w` (n×p) against the first `ncols` columns of `v` (n×·) and
+/// then orthonormalize it internally, returning the projection coefficients.
+///
+/// `v` may be wider than `ncols`; only the leading columns are used, which
+/// lets callers keep one pre-allocated basis for a whole restart cycle.
+pub fn orthogonalize_block<S: Scalar>(
+    v: &DMat<S>,
+    ncols: usize,
+    w: &mut DMat<S>,
+    scheme: OrthScheme,
+) -> BlockOrth<S> {
+    assert!(ncols <= v.ncols());
+    assert_eq!(v.nrows(), w.nrows());
+    let p = w.ncols();
+    let mut coeffs = DMat::zeros(ncols, p);
+    let mut reductions = 0;
+
+    match scheme {
+        OrthScheme::Cgs => {
+            for _pass in 0..2 {
+                if ncols > 0 {
+                    let vlead = v.cols(0, ncols);
+                    let c = blas::adjoint_times(&vlead, w); // one fused reduction
+                    reductions += 1;
+                    blas::gemm(-S::one(), &vlead, Op::None, &c, Op::None, S::one(), w);
+                    coeffs.axpy(S::one(), &c);
+                }
+            }
+        }
+        OrthScheme::Mgs | OrthScheme::Imgs => {
+            let passes = if scheme == OrthScheme::Imgs { 2 } else { 1 };
+            for _pass in 0..passes {
+                for j in 0..ncols {
+                    let vj = v.col(j).to_vec();
+                    for l in 0..p {
+                        let wl = w.col_mut(l);
+                        let mut dot = S::zero();
+                        for (a, b) in vj.iter().zip(wl.iter()) {
+                            dot += a.conj() * *b;
+                        }
+                        for (a, b) in vj.iter().zip(wl.iter_mut()) {
+                            *b -= dot * *a;
+                        }
+                        coeffs[(j, l)] += dot;
+                    }
+                    reductions += 1; // one reduction per basis column (dots fused over l)
+                }
+            }
+        }
+        OrthScheme::CholQr => {
+            // Projection uses one CGS pass (fused), repeated twice for stability.
+            for _pass in 0..2 {
+                if ncols > 0 {
+                    let vlead = v.cols(0, ncols);
+                    let c = blas::adjoint_times(&vlead, w);
+                    reductions += 1;
+                    blas::gemm(-S::one(), &vlead, Op::None, &c, Op::None, S::one(), w);
+                    coeffs.axpy(S::one(), &c);
+                }
+            }
+        }
+    }
+
+    // Intra-block orthonormalization.
+    let (r, rank, intra_reductions) = match scheme {
+        OrthScheme::CholQr | OrthScheme::Cgs => {
+            let out = chol::cholqr(w);
+            (out.r, out.rank, 1)
+        }
+        OrthScheme::Mgs | OrthScheme::Imgs => {
+            let mut r = DMat::zeros(p, p);
+            let mut rank = p;
+            let mut reds = 0;
+            for l in 0..p {
+                // Project against the already-normalized columns of w.
+                for j in 0..l {
+                    let dot = w.col_dot(j, w, l);
+                    let (dst, src) = w.two_cols_mut(l, j);
+                    for (d, s) in dst.iter_mut().zip(src.iter()) {
+                        *d -= dot * *s;
+                    }
+                    r[(j, l)] = dot;
+                    reds += 1;
+                }
+                let nrm = w.col_norm(l);
+                reds += 1;
+                if nrm <= S::Real::epsilon() {
+                    rank = rank.min(l);
+                    r[(l, l)] = S::zero();
+                } else {
+                    r[(l, l)] = S::from_real(nrm);
+                    w.scale_col(l, S::one() / S::from_real(nrm));
+                }
+            }
+            (r, rank, reds)
+        }
+    };
+
+    BlockOrth { coeffs, r, rank, reductions: reductions + intra_reductions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul;
+    use kryst_scalar::C64;
+
+    fn basis(n: usize, k: usize) -> DMat<f64> {
+        let mut v = DMat::from_fn(n, k, |i, j| ((i * 7 + j * 13) % 19) as f64 - 9.0);
+        let _ = chol::cholqr(&mut v);
+        v
+    }
+
+    fn check_scheme(scheme: OrthScheme) {
+        let n = 50;
+        let v = basis(n, 5);
+        let w0 = DMat::from_fn(n, 3, |i, j| ((i * 3 + j * 11) % 23) as f64 - 11.0);
+        let mut w = w0.clone();
+        let out = orthogonalize_block(&v, 5, &mut w, scheme);
+        assert_eq!(out.rank, 3);
+        // VᴴQ ≈ 0
+        let c = blas::adjoint_times(&v, &w);
+        assert!(c.max_abs() < 1e-10, "{scheme:?}: basis orthogonality {}", c.max_abs());
+        // QᴴQ ≈ I
+        let g = blas::adjoint_times(&w, &w);
+        for i in 0..3 {
+            for j in 0..3 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - e).abs() < 1e-10, "{scheme:?}: Gram ({i},{j})");
+            }
+        }
+        // Reconstruction: W0 = V·C + Q·R
+        let mut rec = matmul(&v, Op::None, &out.coeffs, Op::None);
+        let qr = matmul(&w, Op::None, &out.r, Op::None);
+        rec.axpy(1.0, &qr);
+        for i in 0..n {
+            for j in 0..3 {
+                assert!(
+                    (rec[(i, j)] - w0[(i, j)]).abs() < 1e-9,
+                    "{scheme:?}: reconstruction ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_schemes_orthogonalize() {
+        for scheme in [OrthScheme::Cgs, OrthScheme::Mgs, OrthScheme::Imgs, OrthScheme::CholQr] {
+            check_scheme(scheme);
+        }
+    }
+
+    #[test]
+    fn complex_cholqr_block_orth() {
+        let n = 40;
+        let mut vb = DMat::<C64>::from_fn(n, 4, |i, j| {
+            C64::from_parts(((i + j * 3) % 7) as f64, ((i * 5 + j) % 11) as f64 - 5.0)
+        });
+        let _ = chol::cholqr(&mut vb);
+        let mut w = DMat::<C64>::from_fn(n, 2, |i, j| {
+            C64::from_parts(((i * 2 + j) % 9) as f64 - 4.0, (i % 3) as f64)
+        });
+        let out = orthogonalize_block(&vb, 4, &mut w, OrthScheme::CholQr);
+        assert_eq!(out.rank, 2);
+        let c = blas::adjoint_times(&vb, &w);
+        assert!(c.max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn reduction_counts_reflect_scheme() {
+        let n = 30;
+        let v = basis(n, 4);
+        let w0 = DMat::from_fn(n, 2, |i, j| (i + j) as f64 + 0.5);
+        let mut w = w0.clone();
+        let cgs = orthogonalize_block(&v, 4, &mut w, OrthScheme::CholQr);
+        // CholQR: 2 fused projection reductions + 1 Gram reduction.
+        assert_eq!(cgs.reductions, 3);
+        let mut w = w0.clone();
+        let mgs = orthogonalize_block(&v, 4, &mut w, OrthScheme::Mgs);
+        // MGS: k reductions (projection) + per-column intra-block work.
+        assert!(mgs.reductions > cgs.reductions);
+    }
+}

@@ -1,0 +1,153 @@
+//! Instrumented communication counters.
+//!
+//! Every kernel that would communicate in a distributed run reports here:
+//! global reductions (dot products, Gram matrices, norms — the quantity the
+//! paper's §III-D analyses), point-to-point messages (halo exchanges of
+//! SpMM), and local floating-point work. Counters are atomics with relaxed
+//! ordering — they are statistics, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared communication/work counters.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    reductions: AtomicU64,
+    reduction_bytes: AtomicU64,
+    p2p_messages: AtomicU64,
+    p2p_bytes: AtomicU64,
+    flops: AtomicU64,
+}
+
+/// A point-in-time copy of [`CommStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommSnapshot {
+    /// Number of global reductions (all-reduce operations).
+    pub reductions: u64,
+    /// Payload bytes reduced (per-rank contribution).
+    pub reduction_bytes: u64,
+    /// Point-to-point messages (summed over all ranks).
+    pub p2p_messages: u64,
+    /// Point-to-point payload bytes (summed over all ranks).
+    pub p2p_bytes: u64,
+    /// Local floating-point operations (summed over all ranks).
+    pub flops: u64,
+}
+
+impl CommStats {
+    /// Fresh zeroed counters behind an `Arc` (the usual way to share them).
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record one global reduction of `bytes` payload.
+    #[inline]
+    pub fn record_reduction(&self, bytes: usize) {
+        self.reductions.fetch_add(1, Ordering::Relaxed);
+        self.reduction_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record `count` fused reductions (e.g. a batched convergence check).
+    #[inline]
+    pub fn record_reductions(&self, count: usize, bytes: usize) {
+        self.reductions.fetch_add(count as u64, Ordering::Relaxed);
+        self.reduction_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record a halo exchange: `messages` point-to-point sends moving `bytes`
+    /// in total.
+    #[inline]
+    pub fn record_p2p(&self, messages: usize, bytes: usize) {
+        self.p2p_messages.fetch_add(messages as u64, Ordering::Relaxed);
+        self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record local floating-point work.
+    #[inline]
+    pub fn record_flops(&self, flops: usize) {
+        self.flops.fetch_add(flops as u64, Ordering::Relaxed);
+    }
+
+    /// Copy out the counters.
+    pub fn snapshot(&self) -> CommSnapshot {
+        CommSnapshot {
+            reductions: self.reductions.load(Ordering::Relaxed),
+            reduction_bytes: self.reduction_bytes.load(Ordering::Relaxed),
+            p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
+            flops: self.flops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.reductions.store(0, Ordering::Relaxed);
+        self.reduction_bytes.store(0, Ordering::Relaxed);
+        self.p2p_messages.store(0, Ordering::Relaxed);
+        self.p2p_bytes.store(0, Ordering::Relaxed);
+        self.flops.store(0, Ordering::Relaxed);
+    }
+}
+
+impl CommSnapshot {
+    /// Difference of two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &CommSnapshot) -> CommSnapshot {
+        CommSnapshot {
+            reductions: self.reductions - earlier.reductions,
+            reduction_bytes: self.reduction_bytes - earlier.reduction_bytes,
+            p2p_messages: self.p2p_messages - earlier.p2p_messages,
+            p2p_bytes: self.p2p_bytes - earlier.p2p_bytes,
+            flops: self.flops - earlier.flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = CommStats::new_shared();
+        s.record_reduction(64);
+        s.record_reduction(8);
+        s.record_p2p(4, 4096);
+        s.record_flops(1000);
+        let snap = s.snapshot();
+        assert_eq!(snap.reductions, 2);
+        assert_eq!(snap.reduction_bytes, 72);
+        assert_eq!(snap.p2p_messages, 4);
+        assert_eq!(snap.flops, 1000);
+        s.reset();
+        assert_eq!(s.snapshot(), CommSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let s = CommStats::new_shared();
+        s.record_reduction(8);
+        let a = s.snapshot();
+        s.record_reduction(8);
+        s.record_p2p(1, 100);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.reductions, 1);
+        assert_eq!(d.p2p_messages, 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let s = CommStats::new_shared();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_reduction(8);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().reductions, 8000);
+    }
+}

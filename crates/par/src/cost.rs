@@ -1,0 +1,127 @@
+//! α–β–γ communication/compute cost model.
+//!
+//! Converts the exact counters of [`crate::CommStats`] into modeled wall
+//! times for an arbitrary rank count, so strong-scaling figures (Fig. 7) can
+//! be regenerated on a laptop. The model is the textbook one:
+//!
+//! * a global reduction costs `α_r · ⌈log₂ P⌉`,
+//! * a point-to-point message costs `α_m + bytes / β`,
+//! * local work costs `flops / (γ · P)` (perfectly parallel local kernels —
+//!   appropriate for the memory-bound SpMM and subdomain solves).
+//!
+//! Default constants approximate the paper's Curie system (Sandy Bridge +
+//! InfiniBand QDR); they only set the absolute scale, the *shape* of the
+//! curves comes from the measured counts.
+
+use crate::comm::CommSnapshot;
+
+/// Machine constants for the model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Per-stage reduction latency (seconds).
+    pub alpha_reduce: f64,
+    /// Point-to-point message latency (seconds).
+    pub alpha_msg: f64,
+    /// Link bandwidth (bytes/second).
+    pub beta: f64,
+    /// Per-rank effective compute rate (flops/second).
+    pub gamma: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::curie_like()
+    }
+}
+
+impl CostModel {
+    /// Constants approximating Curie (2.7 GHz Sandy Bridge, IB QDR).
+    pub fn curie_like() -> Self {
+        Self {
+            alpha_reduce: 1.5e-6,
+            alpha_msg: 1.2e-6,
+            beta: 3.2e9,
+            gamma: 4.0e9,
+        }
+    }
+
+    /// Model the time of the work captured in `snap` on `nranks` ranks.
+    ///
+    /// `p2p_messages`/`p2p_bytes` in the snapshot are totals over ranks; the
+    /// per-rank halo traffic is the total divided by `nranks` (messages
+    /// between distinct pairs proceed concurrently).
+    pub fn time(&self, snap: &CommSnapshot, nranks: usize) -> ModeledTime {
+        let p = nranks.max(1) as f64;
+        let stages = (nranks.max(1) as f64).log2().ceil().max(1.0);
+        let reduction = snap.reductions as f64 * self.alpha_reduce * stages
+            + snap.reduction_bytes as f64 * stages / self.beta;
+        let p2p = (snap.p2p_messages as f64 / p) * self.alpha_msg
+            + (snap.p2p_bytes as f64 / p) / self.beta;
+        let compute = snap.flops as f64 / (self.gamma * p);
+        ModeledTime { compute, reduction, p2p }
+    }
+}
+
+/// Decomposed modeled time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeledTime {
+    /// Local compute component (seconds).
+    pub compute: f64,
+    /// Global-reduction component (seconds).
+    pub reduction: f64,
+    /// Point-to-point component (seconds).
+    pub p2p: f64,
+}
+
+impl ModeledTime {
+    /// Total modeled seconds.
+    pub fn total(&self) -> f64 {
+        self.compute + self.reduction + self.p2p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommSnapshot;
+
+    fn snap() -> CommSnapshot {
+        CommSnapshot {
+            reductions: 100,
+            reduction_bytes: 100 * 8,
+            p2p_messages: 1024,
+            p2p_bytes: 1024 * 4096,
+            flops: 1_000_000_000,
+        }
+    }
+
+    #[test]
+    fn compute_shrinks_with_ranks_reductions_grow() {
+        let m = CostModel::default();
+        let t64 = m.time(&snap(), 64);
+        let t1024 = m.time(&snap(), 1024);
+        assert!(t1024.compute < t64.compute);
+        assert!(t1024.reduction > t64.reduction);
+    }
+
+    #[test]
+    fn strong_scaling_saturates() {
+        // With fixed work, speedup must be sublinear and eventually flat:
+        // the reduction term becomes the floor.
+        let m = CostModel::default();
+        let t1 = m.time(&snap(), 1).total();
+        let t256 = m.time(&snap(), 256).total();
+        let t8192 = m.time(&snap(), 8192).total();
+        let s256 = t1 / t256;
+        let s8192 = t1 / t8192;
+        assert!(s256 > 1.0);
+        assert!(s8192 / s256 < 32.0, "speedup must not stay linear");
+    }
+
+    #[test]
+    fn total_is_sum() {
+        let m = CostModel::default();
+        let t = m.time(&snap(), 16);
+        assert!((t.total() - (t.compute + t.reduction + t.p2p)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,120 @@
+//! Halo-exchange plans derived from matrix sparsity.
+//!
+//! For a block-row distributed sparse matrix, each SpMV/SpMM requires every
+//! rank to receive the off-rank vector entries its rows reference. This
+//! module computes the exact communication pattern — which pairs of ranks
+//! exchange, and how many entries — so the instrumented operator can report
+//! exact message/byte counts to the cost model.
+
+use crate::Layout;
+use kryst_sparse::Csr;
+use kryst_scalar::Scalar;
+
+/// Communication plan for one distributed operator.
+#[derive(Debug, Clone)]
+pub struct HaloPlan {
+    /// Per rank: sorted list of (neighbor rank, number of entries received).
+    pub recv: Vec<Vec<(usize, usize)>>,
+    /// Total messages per exchange (sum of neighbor counts over ranks).
+    pub messages_per_exchange: usize,
+    /// Total scalar entries moved per exchange (one vector).
+    pub entries_per_exchange: usize,
+}
+
+impl HaloPlan {
+    /// Build the plan for `a` distributed by `layout`.
+    pub fn build<S: Scalar>(a: &Csr<S>, layout: &Layout) -> Self {
+        let nranks = layout.nranks();
+        let mut recv: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nranks];
+        let mut messages = 0usize;
+        let mut entries = 0usize;
+        for r in 0..nranks {
+            // Collect off-rank columns referenced by rank r's rows.
+            let mut ghost: Vec<usize> = Vec::new();
+            let range = layout.range(r);
+            for i in range.clone() {
+                for &j in a.row_indices(i) {
+                    if !range.contains(&j) {
+                        ghost.push(j);
+                    }
+                }
+            }
+            ghost.sort_unstable();
+            ghost.dedup();
+            // Group by owner.
+            let mut k = 0;
+            while k < ghost.len() {
+                let owner = layout.rank_of(ghost[k]);
+                let mut cnt = 0;
+                while k < ghost.len() && layout.rank_of(ghost[k]) == owner {
+                    cnt += 1;
+                    k += 1;
+                }
+                recv[r].push((owner, cnt));
+                messages += 1;
+                entries += cnt;
+            }
+        }
+        Self { recv, messages_per_exchange: messages, entries_per_exchange: entries }
+    }
+
+    /// Bytes moved by one exchange of a `p`-wide multivector with
+    /// `bytes_per_scalar`-byte entries.
+    pub fn bytes_per_exchange(&self, p: usize, bytes_per_scalar: usize) -> usize {
+        self.entries_per_exchange * p * bytes_per_scalar
+    }
+
+    /// Maximum number of neighbors over all ranks (network contention proxy).
+    pub fn max_neighbors(&self) -> usize {
+        self.recv.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kryst_sparse::Coo;
+
+    fn laplace1d(n: usize) -> Csr<f64> {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                c.push(i, i + 1, -1.0);
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn tridiagonal_has_chain_topology() {
+        let a = laplace1d(100);
+        let layout = Layout::even(100, 4);
+        let plan = HaloPlan::build(&a, &layout);
+        // Interior ranks have 2 neighbors, end ranks 1 → 2+2·... messages.
+        assert_eq!(plan.messages_per_exchange, 2 + 2 + 1 + 1);
+        // One ghost entry per neighbor for a tridiagonal stencil.
+        assert_eq!(plan.entries_per_exchange, 6);
+        assert_eq!(plan.max_neighbors(), 2);
+        assert_eq!(plan.bytes_per_exchange(4, 8), 6 * 4 * 8);
+    }
+
+    #[test]
+    fn single_rank_has_no_communication() {
+        let a = laplace1d(50);
+        let plan = HaloPlan::build(&a, &Layout::even(50, 1));
+        assert_eq!(plan.messages_per_exchange, 0);
+        assert_eq!(plan.entries_per_exchange, 0);
+    }
+
+    #[test]
+    fn more_ranks_more_messages() {
+        let a = laplace1d(64);
+        let m4 = HaloPlan::build(&a, &Layout::even(64, 4)).messages_per_exchange;
+        let m16 = HaloPlan::build(&a, &Layout::even(64, 16)).messages_per_exchange;
+        assert!(m16 > m4);
+    }
+}

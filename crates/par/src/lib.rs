@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Simulated distributed runtime for the `kryst` workspace.
+//!
+//! The paper's experiments ran on up to 8,192 MPI ranks; the Rust MPI
+//! ecosystem is thin, so this crate provides the faithful laptop-scale
+//! substitute described in `DESIGN.md`:
+//!
+//! * [`layout::Layout`] — contiguous row distributions over `N` ranks,
+//! * [`halo`] — halo-exchange plans derived from the matrix sparsity, giving
+//!   exact per-SpMM message and byte counts,
+//! * [`comm::CommStats`] — atomic counters every solver kernel reports its
+//!   collectives to (the quantities §III-D of the paper reasons about),
+//! * [`cost::CostModel`] — an α–β–γ (latency–bandwidth–compute) model that
+//!   converts those counts into modeled times for any rank count,
+//! * [`op`] — the operator/preconditioner abstraction shared by `kryst-core`
+//!   and `kryst-precond`, including the instrumented distributed operator
+//!   [`op::DistOp`],
+//! * [`spmd`] — a real message-passing mini-executor (threads + channels)
+//!   used to validate that the counted communication pattern matches a true
+//!   SPMD execution.
+//!
+//! The arithmetic of a "distributed" run is bit-identical to the sequential
+//! sharded execution, so convergence histories are exactly what a real MPI
+//! run with the same reduction order would produce.
+
+pub mod comm;
+pub mod cost;
+pub mod halo;
+pub mod layout;
+pub mod op;
+pub mod spmd;
+
+pub use comm::{CommStats, CommSnapshot};
+pub use cost::{CostModel, ModeledTime};
+pub use layout::Layout;
+pub use halo::HaloPlan;
+pub use op::{DistOp, IdentityPrecond, LinOp, PrecondOp, ProjectedOp};

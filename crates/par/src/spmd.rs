@@ -1,0 +1,208 @@
+//! A real SPMD mini-executor: ranks as threads, messages as channels.
+//!
+//! This is *not* on the hot path — the production kernels use the sharded
+//! rayon execution with counted communication. The executor exists to
+//! validate that semantics: tests run the same reduction/halo pattern through
+//! genuine message passing and check the results (and message counts) agree
+//! with the instrumented sequential execution.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Handle given to each rank's closure.
+pub struct RankCtx {
+    rank: usize,
+    nranks: usize,
+    /// `mesh[src][dst]` sender endpoints.
+    senders: Vec<Sender<Vec<f64>>>,
+    receivers: Vec<Receiver<Vec<f64>>>,
+    barrier: Arc<std::sync::Barrier>,
+    msg_count: Arc<Mutex<u64>>,
+}
+
+impl RankCtx {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Point-to-point send of a payload to `dst`.
+    pub fn send(&self, dst: usize, payload: Vec<f64>) {
+        *self.msg_count.lock() += 1;
+        self.senders[dst].send(payload).expect("peer alive");
+    }
+
+    /// Blocking receive of the next payload from `src`.
+    pub fn recv(&self, src: usize) -> Vec<f64> {
+        self.receivers[src].recv().expect("peer alive")
+    }
+
+    /// All-reduce (sum) of a local contribution via a binomial tree rooted at
+    /// rank 0 followed by a broadcast down the same tree — `2·⌈log₂ P⌉`
+    /// message stages, the pattern the cost model charges for.
+    pub fn all_reduce_sum(&self, mut local: Vec<f64>) -> Vec<f64> {
+        let p = self.nranks;
+        let r = self.rank;
+        // Reduce up the tree.
+        let mut step = 1;
+        while step < p {
+            if r % (2 * step) == step {
+                // Sender this stage.
+                self.send(r - step, local.clone());
+            } else if r % (2 * step) == 0 && r + step < p {
+                let other = self.recv(r + step);
+                for (a, b) in local.iter_mut().zip(&other) {
+                    *a += *b;
+                }
+            }
+            step *= 2;
+        }
+        // Broadcast down.
+        step /= 2;
+        while step >= 1 {
+            if r % (2 * step) == 0 && r + step < p {
+                self.send(r + step, local.clone());
+            } else if r % (2 * step) == step {
+                local = self.recv(r - step);
+            }
+            if step == 1 {
+                break;
+            }
+            step /= 2;
+        }
+        local
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Run `f` on `nranks` threads; returns each rank's result in rank order,
+/// plus the total number of point-to-point messages exchanged.
+pub fn run<T: Send>(nranks: usize, f: impl Fn(&RankCtx) -> T + Sync) -> (Vec<T>, u64) {
+    assert!(nranks >= 1);
+    // Channel mesh: chans[src][dst].
+    let mut senders: Vec<Vec<Sender<Vec<f64>>>> = Vec::with_capacity(nranks);
+    let mut receivers: Vec<Vec<Option<Receiver<Vec<f64>>>>> =
+        (0..nranks).map(|_| (0..nranks).map(|_| None).collect()).collect();
+    for src in 0..nranks {
+        let mut row = Vec::with_capacity(nranks);
+        for dst in 0..nranks {
+            let (s, r) = unbounded();
+            row.push(s);
+            receivers[dst][src] = Some(r);
+        }
+        senders.push(row);
+    }
+    let barrier = Arc::new(std::sync::Barrier::new(nranks));
+    let msg_count = Arc::new(Mutex::new(0u64));
+
+    let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, (sends, recvs)) in senders
+            .into_iter()
+            .zip(receivers.into_iter())
+            .enumerate()
+        {
+            let recvs: Vec<Receiver<Vec<f64>>> = recvs.into_iter().map(Option::unwrap).collect();
+            let ctx = RankCtx {
+                rank,
+                nranks,
+                senders: sends,
+                receivers: recvs,
+                barrier: Arc::clone(&barrier),
+                msg_count: Arc::clone(&msg_count),
+            };
+            let fref = &f;
+            handles.push(scope.spawn(move || fref(&ctx)));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().expect("rank panicked"));
+        }
+    });
+    let count = *msg_count.lock();
+    (results.into_iter().map(Option::unwrap).collect(), count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        for p in [1, 2, 3, 4, 7, 8] {
+            let (results, _msgs) = run(p, |ctx| {
+                let local = vec![ctx.rank() as f64, 1.0];
+                ctx.all_reduce_sum(local)
+            });
+            let expect0: f64 = (0..p).map(|r| r as f64).sum();
+            for r in results {
+                assert_eq!(r[0], expect0, "p = {p}");
+                assert_eq!(r[1], p as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_message_count_is_logarithmic() {
+        // Power-of-two ranks: exactly 2·(P−1) messages per all-reduce
+        // (P−1 up the tree, P−1 down).
+        for p in [2usize, 4, 8] {
+            let (_res, msgs) = run(p, |ctx| ctx.all_reduce_sum(vec![1.0]));
+            assert_eq!(msgs, 2 * (p as u64 - 1), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn halo_style_neighbor_exchange() {
+        // Each rank sends its id to both neighbors (chain), receives and sums.
+        let p = 5;
+        let (results, msgs) = run(p, |ctx| {
+            let r = ctx.rank();
+            if r > 0 {
+                ctx.send(r - 1, vec![r as f64]);
+            }
+            if r + 1 < ctx.nranks() {
+                ctx.send(r + 1, vec![r as f64]);
+            }
+            let mut acc = 0.0;
+            if r > 0 {
+                acc += ctx.recv(r - 1)[0];
+            }
+            if r + 1 < ctx.nranks() {
+                acc += ctx.recv(r + 1)[0];
+            }
+            acc
+        });
+        // Chain message count = 2·(P−1), matches HaloPlan for tridiagonal.
+        assert_eq!(msgs, 2 * (p as u64 - 1));
+        assert_eq!(results[0], 1.0);
+        assert_eq!(results[2], 1.0 + 3.0);
+        assert_eq!(results[4], 3.0);
+    }
+
+    #[test]
+    fn spmd_dot_product_matches_sequential() {
+        // Distributed dot product of x·y with x_i = i, y_i = 2i over 3 ranks.
+        let n = 30;
+        let (results, _): (Vec<f64>, _) = run(3, |ctx| {
+            let lo = ctx.rank() * 10;
+            let hi = lo + 10;
+            let local: f64 = (lo..hi).map(|i| (i as f64) * (2 * i) as f64).sum();
+            ctx.all_reduce_sum(vec![local])[0]
+        });
+        let expect: f64 = (0..n).map(|i| (i as f64) * (2 * i) as f64).sum();
+        for r in results {
+            assert_eq!(r, expect);
+        }
+    }
+}

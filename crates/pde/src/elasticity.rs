@@ -1,0 +1,356 @@
+//! 3-D linear elasticity on the unit cube with Q1 (trilinear hexahedral)
+//! finite elements — the `ex56` analogue (paper §IV-C).
+//!
+//! The paper generates a sequence of four *varying* systems by moving a small
+//! spherical inclusion with modified Young modulus `E_i = E / s_i` through
+//! the cube; [`PAPER_INCLUSIONS`] reproduces those parameter sets. The
+//! near-nullspace (6 rigid-body modes) is provided for the smoothed
+//! aggregation multigrid, exactly as `ex56` feeds GAMG.
+
+use crate::Problem;
+use kryst_dense::DMat;
+use kryst_scalar::Scalar;
+use kryst_sparse::Coo;
+
+/// A spherical soft/hard inclusion: inside the sphere the Young modulus is
+/// `E / stiffness_ratio`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Inclusion {
+    /// `s_i` — the Young-modulus divisor.
+    pub stiffness_ratio: f64,
+    /// Sphere radius.
+    pub r: f64,
+    /// Sphere center.
+    pub center: [f64; 3],
+}
+
+/// The paper's four inclusion parameter sets
+/// (`{s_i}, {r_i}, {x_i}, {y_i}, {z_i}` of §IV-C).
+pub const PAPER_INCLUSIONS: [Inclusion; 4] = [
+    Inclusion { stiffness_ratio: 30.0, r: 0.5, center: [0.5, 0.5, 0.5] },
+    Inclusion { stiffness_ratio: 0.1, r: 0.45, center: [0.4, 0.5, 0.45] },
+    Inclusion { stiffness_ratio: 20.0, r: 0.4, center: [0.4, 0.4, 0.4] },
+    Inclusion { stiffness_ratio: 10.0, r: 0.35, center: [0.4, 0.4, 0.35] },
+];
+
+/// Assembly options.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticityOpts {
+    /// Elements per cube edge.
+    pub ne: usize,
+    /// Young modulus of the matrix material.
+    pub e_modulus: f64,
+    /// Poisson ratio.
+    pub poisson: f64,
+    /// Optional inclusion.
+    pub inclusion: Option<Inclusion>,
+    /// Clamp the `z = 0` face (Dirichlet). When `false` the operator is
+    /// free-free (singular; used to verify the rigid-body nullspace).
+    pub clamp_bottom: bool,
+}
+
+impl Default for ElasticityOpts {
+    fn default() -> Self {
+        Self { ne: 8, e_modulus: 1.0, poisson: 0.3, inclusion: None, clamp_bottom: true }
+    }
+}
+
+/// Generated elasticity problem plus its load vector.
+pub struct ElasticityProblem<S: Scalar> {
+    /// Matrix, coordinates, rigid-body near-nullspace.
+    pub problem: Problem<S>,
+    /// Consistent gravity load (force `(0,0,−1)` per unit volume).
+    pub rhs: Vec<S>,
+}
+
+/// Gauss points `±1/√3` on the reference cube, all weights 1.
+const GP: f64 = 0.577_350_269_189_625_8;
+
+/// Assemble the Q1 elasticity operator.
+pub fn elasticity3d<S: Scalar>(opts: &ElasticityOpts) -> ElasticityProblem<S> {
+    let ne = opts.ne;
+    let nn = ne + 1;
+    let nnodes = nn * nn * nn;
+    let h = 1.0 / ne as f64;
+    let node = |x: usize, y: usize, z: usize| (z * nn + y) * nn + x;
+
+    // Lamé parameters from (E, ν); E is rescaled per element for inclusions.
+    let nu = opts.poisson;
+    let lam_unit = nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
+    let mu_unit = 1.0 / (2.0 * (1.0 + nu));
+
+    // Reference element: 8 nodes at (±1, ±1, ±1).
+    let corners: [[f64; 3]; 8] = [
+        [-1.0, -1.0, -1.0],
+        [1.0, -1.0, -1.0],
+        [-1.0, 1.0, -1.0],
+        [1.0, 1.0, -1.0],
+        [-1.0, -1.0, 1.0],
+        [1.0, -1.0, 1.0],
+        [-1.0, 1.0, 1.0],
+        [1.0, 1.0, 1.0],
+    ];
+
+    // Precompute unit-E element stiffness split into λ and μ parts so each
+    // element only scales two 24×24 matrices.
+    let mut k_lam = [[0.0f64; 24]; 24];
+    let mut k_mu = [[0.0f64; 24]; 24];
+    let jac = h / 2.0;
+    let detj = jac * jac * jac;
+    for gx in [-GP, GP] {
+        for gy in [-GP, GP] {
+            for gz in [-GP, GP] {
+                // Shape function gradients in physical coordinates.
+                let mut dn = [[0.0f64; 3]; 8]; // dN_a/dx_i
+                for (a, c) in corners.iter().enumerate() {
+                    let f = |s: f64, g: f64| 0.5 * (1.0 + s * g); // 1D factor /2 (total /8)
+                    let df = |s: f64| 0.5 * s;
+                    dn[a][0] = df(c[0]) * f(c[1], gy) * f(c[2], gz) / jac;
+                    dn[a][1] = f(c[0], gx) * df(c[1]) * f(c[2], gz) / jac;
+                    dn[a][2] = f(c[0], gx) * f(c[1], gy) * df(c[2]) / jac;
+                }
+                // K[a·3+i][b·3+j] += λ·dN_a/dx_i·dN_b/dx_j
+                //                  + μ·(dN_a/dx_j·dN_b/dx_i + δ_ij Σ_k dN_a/dx_k dN_b/dx_k)
+                for a in 0..8 {
+                    for b in 0..8 {
+                        let dot: f64 = (0..3).map(|k| dn[a][k] * dn[b][k]).sum();
+                        for i in 0..3 {
+                            for j in 0..3 {
+                                let la = dn[a][i] * dn[b][j];
+                                let mu_t = dn[a][j] * dn[b][i] + if i == j { dot } else { 0.0 };
+                                k_lam[3 * a + i][3 * b + j] += la * detj;
+                                k_mu[3 * a + i][3 * b + j] += mu_t * detj;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let inside = |cx: f64, cy: f64, cz: f64| -> bool {
+        if let Some(inc) = &opts.inclusion {
+            let dx = cx - inc.center[0];
+            let dy = cy - inc.center[1];
+            let dz = cz - inc.center[2];
+            dx * dx + dy * dy + dz * dz < inc.r * inc.r
+        } else {
+            false
+        }
+    };
+
+    // Free-dof numbering (eliminate clamped dofs).
+    let ndof = 3 * nnodes;
+    let mut dofmap = vec![usize::MAX; ndof];
+    let mut coords = Vec::new();
+    let mut free = 0usize;
+    for z in 0..nn {
+        for y in 0..nn {
+            for x in 0..nn {
+                let clamped = opts.clamp_bottom && z == 0;
+                for c in 0..3 {
+                    let gd = 3 * node(x, y, z) + c;
+                    if !clamped {
+                        dofmap[gd] = free;
+                        free += 1;
+                        coords.push(vec![x as f64 * h, y as f64 * h, z as f64 * h]);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut coo = Coo::with_capacity(free, free, 24 * 24 * ne * ne * ne / 2);
+    let mut rhs = vec![S::zero(); free];
+    let grav = -1.0 * h * h * h / 8.0; // lumped gravity load per element node
+    for ez in 0..ne {
+        for ey in 0..ne {
+            for ex in 0..ne {
+                let cx = (ex as f64 + 0.5) * h;
+                let cy = (ey as f64 + 0.5) * h;
+                let cz = (ez as f64 + 0.5) * h;
+                let e_scale = if inside(cx, cy, cz) {
+                    opts.e_modulus / opts.inclusion.as_ref().unwrap().stiffness_ratio
+                } else {
+                    opts.e_modulus
+                };
+                let lam = lam_unit * e_scale;
+                let mu = mu_unit * e_scale;
+                // Element nodes in the same order as `corners`.
+                let nodes = [
+                    node(ex, ey, ez),
+                    node(ex + 1, ey, ez),
+                    node(ex, ey + 1, ez),
+                    node(ex + 1, ey + 1, ez),
+                    node(ex, ey, ez + 1),
+                    node(ex + 1, ey, ez + 1),
+                    node(ex, ey + 1, ez + 1),
+                    node(ex + 1, ey + 1, ez + 1),
+                ];
+                for (a, &na) in nodes.iter().enumerate() {
+                    for i in 0..3 {
+                        let ga = dofmap[3 * na + i];
+                        if ga == usize::MAX {
+                            continue;
+                        }
+                        if i == 2 {
+                            rhs[ga] += S::from_f64(grav);
+                        }
+                        for (b, &nb) in nodes.iter().enumerate() {
+                            for j in 0..3 {
+                                let gb = dofmap[3 * nb + j];
+                                if gb == usize::MAX {
+                                    continue;
+                                }
+                                let v = lam * k_lam[3 * a + i][3 * b + j]
+                                    + mu * k_mu[3 * a + i][3 * b + j];
+                                if v != 0.0 {
+                                    coo.push(ga, gb, S::from_f64(v));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let a = coo.to_csr();
+
+    // Rigid-body near-nullspace on the free dofs.
+    let mut ns = DMat::zeros(free, 6);
+    for z in 0..nn {
+        for y in 0..nn {
+            for x in 0..nn {
+                let (px, py, pz) = (x as f64 * h, y as f64 * h, z as f64 * h);
+                let base = 3 * node(x, y, z);
+                let modes: [[f64; 3]; 6] = [
+                    [1.0, 0.0, 0.0],
+                    [0.0, 1.0, 0.0],
+                    [0.0, 0.0, 1.0],
+                    [0.0, -pz, py],
+                    [pz, 0.0, -px],
+                    [-py, px, 0.0],
+                ];
+                for c in 0..3 {
+                    let gd = dofmap[base + c];
+                    if gd == usize::MAX {
+                        continue;
+                    }
+                    for (m, mode) in modes.iter().enumerate() {
+                        ns[(gd, m)] = S::from_f64(mode[c]);
+                    }
+                }
+            }
+        }
+    }
+
+    ElasticityProblem { problem: Problem { a, coords, near_nullspace: Some(ns) }, rhs }
+}
+
+/// The paper's sequence of four slowly-varying systems (shared `ne`,
+/// different inclusions).
+pub fn paper_sequence<S: Scalar>(ne: usize) -> Vec<ElasticityProblem<S>> {
+    PAPER_INCLUSIONS
+        .iter()
+        .map(|inc| {
+            elasticity3d(&ElasticityOpts { ne, inclusion: Some(*inc), ..Default::default() })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let p = elasticity3d::<f64>(&ElasticityOpts { ne: 3, ..Default::default() });
+        let a = &p.problem.a;
+        for i in 0..a.nrows() {
+            for &j in a.row_indices(i) {
+                assert!(
+                    (a.get(i, j) - a.get(j, i)).abs() < 1e-12 * a.inf_norm(),
+                    "asymmetry at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rigid_body_modes_are_nullspace_of_free_operator() {
+        let p = elasticity3d::<f64>(&ElasticityOpts {
+            ne: 3,
+            clamp_bottom: false,
+            ..Default::default()
+        });
+        let a = &p.problem.a;
+        let ns = p.problem.near_nullspace.as_ref().unwrap();
+        let r = a.apply(ns);
+        let scale = a.inf_norm();
+        assert!(
+            r.max_abs() < 1e-10 * scale,
+            "‖A·RBM‖ = {} (scale {scale})",
+            r.max_abs()
+        );
+    }
+
+    #[test]
+    fn clamped_operator_is_spd() {
+        let p = elasticity3d::<f64>(&ElasticityOpts { ne: 2, ..Default::default() });
+        // SPD ⟺ Cholesky of the dense mirror succeeds.
+        let n = p.problem.a.nrows();
+        let d = kryst_dense::DMat::from_fn(n, n, |i, j| p.problem.a.get(i, j));
+        assert!(kryst_dense::chol::cholesky(&d).is_some(), "clamped elasticity not SPD");
+    }
+
+    #[test]
+    fn gravity_pushes_down() {
+        use kryst_sparse::SparseDirect;
+        let p = elasticity3d::<f64>(&ElasticityOpts { ne: 4, ..Default::default() });
+        let f = SparseDirect::factor(&p.problem.a).expect("SPD system");
+        let u = f.solve_one(&p.rhs);
+        // Mean vertical displacement must be negative (downward).
+        let mut mean_z = 0.0;
+        let mut count = 0;
+        for (k, c) in p.problem.coords.iter().enumerate() {
+            let _ = c;
+            if k % 3 == 2 {
+                mean_z += u[k];
+                count += 1;
+            }
+        }
+        mean_z /= count as f64;
+        assert!(mean_z < 0.0, "mean w = {mean_z}");
+    }
+
+    #[test]
+    fn soft_inclusion_increases_compliance() {
+        use kryst_sparse::SparseDirect;
+        let hard = elasticity3d::<f64>(&ElasticityOpts { ne: 4, ..Default::default() });
+        let soft = elasticity3d::<f64>(&ElasticityOpts {
+            ne: 4,
+            inclusion: Some(Inclusion { stiffness_ratio: 30.0, r: 0.3, center: [0.5, 0.5, 0.5] }),
+            ..Default::default()
+        });
+        let fh = SparseDirect::factor(&hard.problem.a).unwrap();
+        let fs = SparseDirect::factor(&soft.problem.a).unwrap();
+        let uh = fh.solve_one(&hard.rhs);
+        let us = fs.solve_one(&soft.rhs);
+        let ch: f64 = uh.iter().zip(&hard.rhs).map(|(u, f)| u * f).sum();
+        let cs: f64 = us.iter().zip(&soft.rhs).map(|(u, f)| u * f).sum();
+        // Compliance fᵀu grows when material is softened.
+        assert!(cs > ch, "compliance {cs} !> {ch}");
+    }
+
+    #[test]
+    fn paper_sequence_yields_four_distinct_systems() {
+        let seq = paper_sequence::<f64>(2);
+        assert_eq!(seq.len(), 4);
+        let n0 = seq[0].problem.a.nrows();
+        for s in &seq[1..] {
+            assert_eq!(s.problem.a.nrows(), n0);
+        }
+        // Matrices differ (inclusions move).
+        assert_ne!(seq[0].problem.a, seq[1].problem.a);
+    }
+}

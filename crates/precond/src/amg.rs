@@ -1,0 +1,553 @@
+//! Smoothed-aggregation algebraic multigrid — the GAMG stand-in.
+//!
+//! Mirrors the knobs the paper turns on PETSc's GAMG:
+//!
+//! * [`AmgOpts::threshold`] ⟷ `-pc_gamg_threshold` (strength-of-connection
+//!   edge dropping; higher = cheaper, weaker hierarchy — the §IV-B trade-off),
+//! * [`SmootherKind`] ⟷ `-mg_levels_ksp_type` (`gmres`/`cg` make the cycle
+//!   **nonlinear**, forcing flexible outer solvers; `chebyshev`/`jacobi` keep
+//!   it linear),
+//! * near-nullspace vectors ⟷ `MatSetNearNullSpace` (rigid-body modes for
+//!   elasticity, constants for Poisson).
+
+use crate::chebyshev::Chebyshev;
+use crate::jacobi::Jacobi;
+use crate::smoother;
+use kryst_dense::{qr::HouseholderQr, DMat};
+use kryst_par::PrecondOp;
+use kryst_scalar::{Real, Scalar};
+use kryst_sparse::{ops, Coo, Csr, SparseDirect};
+
+/// Which smoother runs on each level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SmootherKind {
+    /// Damped point Jacobi (`omega`, sweeps).
+    Jacobi {
+        /// Damping factor.
+        omega: f64,
+        /// Sweeps per pre/post smoothing.
+        iters: usize,
+    },
+    /// Chebyshev polynomial of the given degree (linear smoother).
+    Chebyshev {
+        /// Polynomial degree.
+        degree: usize,
+    },
+    /// `iters` inner GMRES steps (nonlinear ⇒ variable preconditioner).
+    Gmres {
+        /// Inner iterations.
+        iters: usize,
+    },
+    /// `iters` inner CG steps (nonlinear ⇒ variable preconditioner).
+    Cg {
+        /// Inner iterations.
+        iters: usize,
+    },
+}
+
+/// AMG setup options.
+#[derive(Debug, Clone, Copy)]
+pub struct AmgOpts {
+    /// Strength threshold: drop `|a_ij| ≤ threshold·√(a_ii·a_jj)` from the
+    /// aggregation graph.
+    pub threshold: f64,
+    /// Maximum number of levels.
+    pub max_levels: usize,
+    /// Stop coarsening below this size (direct solve there).
+    pub coarse_size: usize,
+    /// Smoother on every level.
+    pub smoother: SmootherKind,
+    /// Prolongator damping numerator (`ω = damping/λ_max`); 4/3 is standard.
+    pub damping: f64,
+}
+
+impl Default for AmgOpts {
+    fn default() -> Self {
+        Self {
+            threshold: 0.0,
+            max_levels: 10,
+            coarse_size: 64,
+            smoother: SmootherKind::Chebyshev { degree: 2 },
+            damping: 4.0 / 3.0,
+        }
+    }
+}
+
+enum LevelSmoother<S: Scalar> {
+    Jacobi(Jacobi<S>, usize),
+    Chebyshev(Chebyshev<S>),
+    Gmres(usize),
+    Cg(usize),
+}
+
+struct Level<S: Scalar> {
+    a: Csr<S>,
+    /// Prolongator to THIS level from the next-coarser one (absent on the
+    /// coarsest level).
+    p: Option<Csr<S>>,
+    pt: Option<Csr<S>>,
+    smoother: LevelSmoother<S>,
+}
+
+/// The assembled multigrid hierarchy.
+pub struct Amg<S: Scalar> {
+    levels: Vec<Level<S>>,
+    coarse: CoarseSolver<S>,
+    variable: bool,
+    n: usize,
+}
+
+enum CoarseSolver<S: Scalar> {
+    Direct(SparseDirect<S>),
+    /// Fallback when the coarse operator is numerically singular:
+    /// regularized direct solve.
+    Regularized(SparseDirect<S>),
+}
+
+impl<S: Scalar> Amg<S> {
+    /// Build the hierarchy for `a` with near-nullspace `b` (defaults to the
+    /// constant vector when `None`).
+    pub fn new(a: &Csr<S>, near_nullspace: Option<&DMat<S>>, opts: &AmgOpts) -> Self {
+        let n = a.nrows();
+        let default_ns = DMat::from_fn(n, 1, |_, _| S::one());
+        let mut b = near_nullspace.cloned().unwrap_or(default_ns);
+        let mut levels: Vec<Level<S>> = Vec::new();
+        let mut acur = a.clone();
+        while levels.len() + 1 < opts.max_levels && acur.nrows() > opts.coarse_size {
+            let (ptent, bc) = tentative_prolongator(&acur, &b, opts.threshold);
+            if ptent.ncols() >= acur.nrows() || ptent.ncols() == 0 {
+                break; // aggregation stalled
+            }
+            let p = smooth_prolongator(&acur, &ptent, opts.damping);
+            let ac = ops::galerkin_rap(&acur, &p);
+            let smoother_impl = make_smoother(&acur, &opts.smoother);
+            levels.push(Level {
+                a: acur,
+                p: Some(p.clone()),
+                pt: Some(p.transpose()),
+                smoother: smoother_impl,
+            });
+            acur = ac;
+            b = bc;
+        }
+        // Coarsest level: direct solve (regularize if singular).
+        let coarse = match SparseDirect::factor(&acur) {
+            Some(f) => CoarseSolver::Direct(f),
+            None => {
+                let shift = S::from_real(acur.inf_norm() * S::Real::epsilon() * S::Real::from_f64(1e6));
+                let reg = acur.shift_diag(shift);
+                CoarseSolver::Regularized(
+                    SparseDirect::factor(&reg).expect("regularized coarse factor"),
+                )
+            }
+        };
+        let smoother_impl = make_smoother(&acur, &opts.smoother);
+        levels.push(Level { a: acur, p: None, pt: None, smoother: smoother_impl });
+        let variable = matches!(opts.smoother, SmootherKind::Gmres { .. } | SmootherKind::Cg { .. });
+        Self { levels, coarse, variable, n }
+    }
+
+    /// Number of levels (including the coarsest).
+    pub fn nlevels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Unknown count on every level, finest first.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.a.nrows()).collect()
+    }
+
+    /// Operator complexity: `Σ nnz(A_l) / nnz(A_0)` — the standard AMG cost
+    /// metric (higher threshold ⇒ lower complexity ⇒ cheaper cycles).
+    pub fn operator_complexity(&self) -> f64 {
+        let n0 = self.levels[0].a.nnz() as f64;
+        self.levels.iter().map(|l| l.a.nnz() as f64).sum::<f64>() / n0
+    }
+
+    fn smooth(&self, l: usize, b: &DMat<S>, x: &mut DMat<S>) {
+        let level = &self.levels[l];
+        match &level.smoother {
+            LevelSmoother::Jacobi(j, iters) => j.smooth(&level.a, b, x, *iters),
+            LevelSmoother::Chebyshev(c) => c.smooth(b, x),
+            LevelSmoother::Gmres(iters) => {
+                // z = GMRES_s(A, b − A x); x += z
+                let mut r = level.a.apply(x);
+                r.scale(-S::one());
+                r.axpy(S::one(), b);
+                let mut z = DMat::zeros(r.nrows(), r.ncols());
+                smoother::gmres_smooth(&level.a, &r, &mut z, *iters);
+                x.axpy(S::one(), &z);
+            }
+            LevelSmoother::Cg(iters) => {
+                let mut r = level.a.apply(x);
+                r.scale(-S::one());
+                r.axpy(S::one(), b);
+                let mut z = DMat::zeros(r.nrows(), r.ncols());
+                smoother::cg_smooth(&level.a, &r, &mut z, *iters);
+                x.axpy(S::one(), &z);
+            }
+        }
+    }
+
+    fn vcycle(&self, l: usize, b: &DMat<S>, x: &mut DMat<S>) {
+        if l + 1 == self.levels.len() {
+            let f = match &self.coarse {
+                CoarseSolver::Direct(f) => f,
+                CoarseSolver::Regularized(f) => f,
+            };
+            let sol = f.solve_multi(b, 8, 1);
+            x.copy_from(&sol);
+            return;
+        }
+        let level = &self.levels[l];
+        // Pre-smooth.
+        self.smooth(l, b, x);
+        // Residual and restriction.
+        let mut r = level.a.apply(x);
+        r.scale(-S::one());
+        r.axpy(S::one(), b);
+        let rc = level.pt.as_ref().unwrap().apply(&r);
+        let mut xc = DMat::zeros(rc.nrows(), rc.ncols());
+        self.vcycle(l + 1, &rc, &mut xc);
+        // Prolongate and correct.
+        let corr = level.p.as_ref().unwrap().apply(&xc);
+        x.axpy(S::one(), &corr);
+        // Post-smooth.
+        self.smooth(l, b, x);
+    }
+}
+
+fn make_smoother<S: Scalar>(a: &Csr<S>, kind: &SmootherKind) -> LevelSmoother<S> {
+    match kind {
+        SmootherKind::Jacobi { omega, iters } => LevelSmoother::Jacobi(Jacobi::new(a, *omega), *iters),
+        SmootherKind::Chebyshev { degree } => LevelSmoother::Chebyshev(Chebyshev::new(a, *degree, 10.0)),
+        SmootherKind::Gmres { iters } => LevelSmoother::Gmres(*iters),
+        SmootherKind::Cg { iters } => LevelSmoother::Cg(*iters),
+    }
+}
+
+impl<S: Scalar> PrecondOp<S> for Amg<S> {
+    fn nrows(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
+        z.set_zero();
+        self.vcycle(0, r, z);
+    }
+    fn is_variable(&self) -> bool {
+        self.variable
+    }
+}
+
+/// Greedy strength-based aggregation + nullspace-preserving tentative
+/// prolongator. Returns `(P̂, B_coarse)`.
+fn tentative_prolongator<S: Scalar>(
+    a: &Csr<S>,
+    b: &DMat<S>,
+    threshold: f64,
+) -> (Csr<S>, DMat<S>) {
+    let n = a.nrows();
+    let nv = b.ncols();
+    let diag = a.diag();
+    // Strength test: |a_ij| > θ·√(|a_ii|·|a_jj|).
+    let strong = |i: usize, j: usize, v: S| -> bool {
+        if i == j {
+            return false;
+        }
+        let denom = (diag[i].abs() * diag[j].abs()).sqrt();
+        v.abs().to_f64() > threshold * denom.to_f64()
+    };
+
+    let mut agg = vec![usize::MAX; n];
+    let mut nagg = 0usize;
+    // Phase 1: roots whose strong neighborhoods are fully unaggregated.
+    for i in 0..n {
+        if agg[i] != usize::MAX {
+            continue;
+        }
+        let mut ok = true;
+        for (k, &j) in a.row_indices(i).iter().enumerate() {
+            if strong(i, j, a.row_values(i)[k]) && agg[j] != usize::MAX {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            agg[i] = nagg;
+            for (k, &j) in a.row_indices(i).iter().enumerate() {
+                if strong(i, j, a.row_values(i)[k]) {
+                    agg[j] = nagg;
+                }
+            }
+            nagg += 1;
+        }
+    }
+    // Phase 2: attach leftovers to a (strongly, else weakly) connected
+    // aggregate; isolated vertices become singletons.
+    for i in 0..n {
+        if agg[i] != usize::MAX {
+            continue;
+        }
+        let mut target = usize::MAX;
+        for (k, &j) in a.row_indices(i).iter().enumerate() {
+            if agg[j] != usize::MAX && strong(i, j, a.row_values(i)[k]) {
+                target = agg[j];
+                break;
+            }
+        }
+        if target == usize::MAX {
+            for &j in a.row_indices(i) {
+                if agg[j] != usize::MAX {
+                    target = agg[j];
+                    break;
+                }
+            }
+        }
+        if target == usize::MAX {
+            target = nagg;
+            nagg += 1;
+        }
+        agg[i] = target;
+    }
+    // Merge aggregates smaller than nv into a graph neighbor so every local
+    // nullspace QR is well-posed.
+    let mut sizes = vec![0usize; nagg];
+    for &g in &agg {
+        sizes[g] += 1;
+    }
+    for i in 0..n {
+        let g = agg[i];
+        if sizes[g] < nv {
+            for &j in a.row_indices(i) {
+                if agg[j] != g && sizes[agg[j]] >= nv {
+                    sizes[g] -= 1;
+                    agg[i] = agg[j];
+                    sizes[agg[j]] += 1;
+                    break;
+                }
+            }
+        }
+    }
+    // Compact aggregate ids.
+    let mut remap = vec![usize::MAX; nagg];
+    let mut ncoarse_agg = 0usize;
+    for &g in &agg {
+        if remap[g] == usize::MAX {
+            remap[g] = ncoarse_agg;
+            ncoarse_agg += 1;
+        }
+    }
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); ncoarse_agg];
+    for (i, &g) in agg.iter().enumerate() {
+        members[remap[g]].push(i);
+    }
+
+    // Per-aggregate QR of the nullspace block.
+    let ncoarse = ncoarse_agg * nv;
+    let mut pcoo = Coo::with_capacity(n, ncoarse, n * nv);
+    let mut bc = DMat::zeros(ncoarse, nv);
+    for (g, rows) in members.iter().enumerate() {
+        let m = rows.len();
+        let local = DMat::from_fn(m, nv, |i, j| b[(rows[i], j)]);
+        if m >= nv {
+            let f = HouseholderQr::factor(local);
+            let q = f.q_thin();
+            let r = f.r();
+            for (li, &gi) in rows.iter().enumerate() {
+                for c in 0..nv {
+                    pcoo.push(gi, g * nv + c, q[(li, c)]);
+                }
+            }
+            for i in 0..nv {
+                for j in 0..nv {
+                    bc[(g * nv + i, j)] = r[(i, j)];
+                }
+            }
+        } else {
+            // Degenerate tiny component: inject identity on as many columns
+            // as there are rows.
+            for (li, &gi) in rows.iter().enumerate() {
+                pcoo.push(gi, g * nv + li, S::one());
+                bc[(g * nv + li, li)] = S::one();
+            }
+        }
+    }
+    (pcoo.to_csr(), bc)
+}
+
+/// `P = (I − ω·D⁻¹·A)·P̂` with `ω = damping / λ_max(D⁻¹A)`.
+fn smooth_prolongator<S: Scalar>(a: &Csr<S>, ptent: &Csr<S>, damping: f64) -> Csr<S> {
+    let inv_diag: Vec<S> = a
+        .diag()
+        .into_iter()
+        .map(|d| if d == S::zero() { S::zero() } else { S::one() / d })
+        .collect();
+    let lmax = estimate_lmax_dinva(a, &inv_diag).max(1e-12);
+    let omega = damping / lmax;
+    let ap = ops::spgemm(a, ptent);
+    let scale: Vec<S> = inv_diag.iter().map(|&d| d * S::from_f64(-omega)).collect();
+    let damped = ops::scale_rows(&scale, &ap);
+    ops::add(ptent, &damped)
+}
+
+fn estimate_lmax_dinva<S: Scalar>(a: &Csr<S>, inv_diag: &[S]) -> f64 {
+    let n = a.nrows();
+    let mut v: Vec<S> = (0..n).map(|i| S::from_f64(1.0 + ((i % 5) as f64) * 0.1)).collect();
+    let mut w = vec![S::zero(); n];
+    let mut lmax = 1.0;
+    for _ in 0..10 {
+        a.spmv(&v, &mut w);
+        let mut norm = 0.0f64;
+        for i in 0..n {
+            w[i] *= inv_diag[i];
+            norm += w[i].abs_sqr().to_f64();
+        }
+        let norm = norm.sqrt();
+        if norm == 0.0 {
+            break;
+        }
+        lmax = norm;
+        let inv = S::from_f64(1.0 / norm);
+        for i in 0..n {
+            v[i] = w[i] * inv;
+        }
+    }
+    lmax
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kryst_pde::poisson::poisson2d;
+
+    fn residual_norm(a: &Csr<f64>, b: &DMat<f64>, x: &DMat<f64>) -> f64 {
+        let mut r = a.apply(x);
+        r.axpy(-1.0, b);
+        r.fro_norm()
+    }
+
+    #[test]
+    fn hierarchy_coarsens() {
+        let p = poisson2d::<f64>(32, 32);
+        let amg = Amg::new(&p.a, p.near_nullspace.as_ref(), &AmgOpts::default());
+        assert!(amg.nlevels() >= 2, "expected a multilevel hierarchy");
+        assert!(amg.operator_complexity() < 3.0, "complexity {}", amg.operator_complexity());
+    }
+
+    #[test]
+    fn vcycle_iteration_converges_on_poisson() {
+        let p = poisson2d::<f64>(24, 24);
+        let n = p.a.nrows();
+        let amg = Amg::new(&p.a, p.near_nullspace.as_ref(), &AmgOpts::default());
+        let b = DMat::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
+        let mut x = DMat::zeros(n, 1);
+        let r0 = residual_norm(&p.a, &b, &x);
+        // Stationary iteration x ⟵ x + M⁻¹(b − A x).
+        let mut rates = Vec::new();
+        let mut rprev = r0;
+        for _ in 0..20 {
+            let mut r = p.a.apply(&x);
+            r.scale(-1.0);
+            r.axpy(1.0, &b);
+            let z = amg.apply_new(&r);
+            x.axpy(1.0, &z);
+            let rn = residual_norm(&p.a, &b, &x);
+            rates.push(rn / rprev);
+            rprev = rn;
+        }
+        assert!(
+            rprev < 1e-6 * r0,
+            "V-cycle iteration stagnated: {rprev:.3e} of {r0:.3e}, rates {rates:?}"
+        );
+    }
+
+    #[test]
+    fn threshold_drops_weak_couplings() {
+        // Anisotropic grid: x-couplings ≈ 0.40·diag, y-couplings ≈ 0.10·diag.
+        // A threshold between the two ratios removes the weak direction from
+        // the aggregation graph, so aggregates get smaller (semi-coarsening)
+        // and the first coarse level is larger — the hierarchy genuinely
+        // changes, mirroring the paper's `-pc_gamg_threshold` experiments.
+        let p = poisson2d::<f64>(32, 16);
+        let robust = Amg::new(
+            &p.a,
+            p.near_nullspace.as_ref(),
+            &AmgOpts { threshold: 0.0, ..Default::default() },
+        );
+        let filtered = Amg::new(
+            &p.a,
+            p.near_nullspace.as_ref(),
+            &AmgOpts { threshold: 0.2, ..Default::default() },
+        );
+        let s_robust = robust.level_sizes();
+        let s_filtered = filtered.level_sizes();
+        assert!(
+            s_filtered[1] > s_robust[1],
+            "semi-coarsening expected: {s_filtered:?} vs {s_robust:?}"
+        );
+        // Both hierarchies must still contract on this SPD problem.
+        let n = p.a.nrows();
+        let b = DMat::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
+        for amg in [&robust, &filtered] {
+            let mut x = DMat::zeros(n, 1);
+            for _ in 0..25 {
+                let mut r = p.a.apply(&x);
+                r.scale(-1.0);
+                r.axpy(1.0, &b);
+                let z = amg.apply_new(&r);
+                x.axpy(1.0, &z);
+            }
+            assert!(residual_norm(&p.a, &b, &x) < 1e-5 * b.fro_norm());
+        }
+    }
+
+    #[test]
+    fn gmres_smoother_makes_it_variable() {
+        let p = poisson2d::<f64>(12, 12);
+        let lin = Amg::new(&p.a, None, &AmgOpts::default());
+        let nonlin = Amg::new(
+            &p.a,
+            None,
+            &AmgOpts { smoother: SmootherKind::Gmres { iters: 3 }, ..Default::default() },
+        );
+        assert!(!PrecondOp::<f64>::is_variable(&lin));
+        assert!(PrecondOp::<f64>::is_variable(&nonlin));
+        // Nonlinear cycle still contracts.
+        let n = p.a.nrows();
+        let b = DMat::from_fn(n, 1, |i, _| (i % 3) as f64);
+        let mut x = DMat::zeros(n, 1);
+        for _ in 0..8 {
+            let mut r = p.a.apply(&x);
+            r.scale(-1.0);
+            r.axpy(1.0, &b);
+            let z = nonlin.apply_new(&r);
+            x.axpy(1.0, &z);
+        }
+        assert!(residual_norm(&p.a, &b, &x) < 1e-6 * b.fro_norm());
+    }
+
+    #[test]
+    fn elasticity_with_rigid_body_modes() {
+        use kryst_pde::elasticity::{elasticity3d, ElasticityOpts};
+        let prob = elasticity3d::<f64>(&ElasticityOpts { ne: 4, ..Default::default() });
+        let a = &prob.problem.a;
+        let amg = Amg::new(
+            a,
+            prob.problem.near_nullspace.as_ref(),
+            &AmgOpts { smoother: SmootherKind::Chebyshev { degree: 3 }, ..Default::default() },
+        );
+        let n = a.nrows();
+        let b = DMat::from_fn(n, 1, |i, _| prob.rhs[i]);
+        let mut x = DMat::zeros(n, 1);
+        let r0 = b.fro_norm();
+        for _ in 0..25 {
+            let mut r = a.apply(&x);
+            r.scale(-1.0);
+            r.axpy(1.0, &b);
+            let z = amg.apply_new(&r);
+            x.axpy(1.0, &z);
+        }
+        let rfinal = residual_norm(a, &b, &x);
+        assert!(rfinal < 1e-5 * r0, "elasticity V-cycle: {rfinal:.3e} of {r0:.3e}");
+    }
+}

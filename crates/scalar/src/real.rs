@@ -1,0 +1,140 @@
+//! Real-number abstraction underlying [`crate::Scalar`].
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point type (`f32` or `f64`).
+///
+/// This is the type of norms, residuals, and convergence tolerances. It is
+/// deliberately minimal: only the operations actually used by the dense and
+/// sparse kernels are required.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + PartialOrd
+    + PartialEq
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum<Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Conversion from `f64` (used for literal constants in algorithms).
+    fn from_f64(v: f64) -> Self;
+    /// Conversion to `f64` (used for reporting and cost models).
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// `max` that propagates the larger value (NaN-unsafe inputs are a bug upstream).
+    fn max(self, other: Self) -> Self;
+    /// `min` counterpart of [`Real::max`].
+    fn min(self, other: Self) -> Self;
+    /// Machine epsilon.
+    fn epsilon() -> Self;
+    /// Largest finite value.
+    fn max_value() -> Self;
+    /// True if the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+    /// `self.hypot(other)` — robust `sqrt(a² + b²)`.
+    fn hypot(self, other: Self) -> Self;
+    /// Natural powi.
+    fn powi(self, n: i32) -> Self;
+    /// Cosine (used by Chebyshev smoother bound estimation and test problems).
+    fn cos(self) -> Self;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Exponential (used by workload RHS generators).
+    fn exp(self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            #[inline(always)]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline(always)]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+            #[inline(always)]
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn hypot(self, other: Self) -> Self {
+                <$t>::hypot(self, other)
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);

@@ -1,0 +1,235 @@
+//! The [`Scalar`] trait: the element type of all matrices and vectors.
+
+use crate::{Complex, Real};
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Field element used by every kernel in the workspace.
+///
+/// Implemented for `f32`, `f64` (real problems: Poisson, elasticity) and
+/// [`Complex<f32>`], [`Complex<f64>`] (time-harmonic Maxwell).
+///
+/// The convention throughout the workspace is the *mathematician's* inner
+/// product: `dot(x, y) = Σ conj(xᵢ) yᵢ`, so `conj` below is what kernels call
+/// on the left operand.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + PartialEq
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum<Self>
+{
+    /// The associated real type (`f64` for both `f64` and `Complex<f64>`).
+    type Real: Real;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Complex conjugate (identity for real types).
+    fn conj(self) -> Self;
+    /// Real part.
+    fn re(self) -> Self::Real;
+    /// Imaginary part (zero for real types).
+    fn im(self) -> Self::Real;
+    /// Modulus.
+    fn abs(self) -> Self::Real;
+    /// Squared modulus (`re² + im²`; avoids the square root).
+    fn abs_sqr(self) -> Self::Real;
+    /// Principal square root.
+    fn sqrt(self) -> Self;
+    /// Embed a real value.
+    fn from_real(r: Self::Real) -> Self;
+    /// Embed an `f64` constant.
+    fn from_f64(v: f64) -> Self;
+    /// Build from real and imaginary `f64` parts (imaginary ignored for real types).
+    fn from_parts(re: f64, im: f64) -> Self;
+    /// True if finite.
+    fn is_finite(self) -> bool;
+    /// True when the type carries an imaginary component.
+    fn is_complex() -> bool;
+    /// Number of real words per scalar (1 or 2) — used by the communication
+    /// cost model to convert element counts into bytes.
+    fn real_words() -> usize {
+        if Self::is_complex() {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+macro_rules! impl_scalar_real {
+    ($t:ty) => {
+        impl Scalar for $t {
+            type Real = $t;
+
+            #[inline(always)]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline(always)]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline(always)]
+            fn conj(self) -> Self {
+                self
+            }
+            #[inline(always)]
+            fn re(self) -> Self::Real {
+                self
+            }
+            #[inline(always)]
+            fn im(self) -> Self::Real {
+                0.0
+            }
+            #[inline(always)]
+            fn abs(self) -> Self::Real {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn abs_sqr(self) -> Self::Real {
+                self * self
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn from_real(r: Self::Real) -> Self {
+                r
+            }
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn from_parts(re: f64, _im: f64) -> Self {
+                re as $t
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn is_complex() -> bool {
+                false
+            }
+        }
+    };
+}
+
+impl_scalar_real!(f32);
+impl_scalar_real!(f64);
+
+impl<T: Real> Scalar for Complex<T> {
+    type Real = T;
+
+    #[inline(always)]
+    fn zero() -> Self {
+        Complex::zero()
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        Complex::one()
+    }
+    #[inline(always)]
+    fn conj(self) -> Self {
+        Complex::conj(self)
+    }
+    #[inline(always)]
+    fn re(self) -> T {
+        self.re
+    }
+    #[inline(always)]
+    fn im(self) -> T {
+        self.im
+    }
+    #[inline(always)]
+    fn abs(self) -> T {
+        Complex::abs(self)
+    }
+    #[inline(always)]
+    fn abs_sqr(self) -> T {
+        Complex::norm_sqr(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        Complex::sqrt(self)
+    }
+    #[inline(always)]
+    fn from_real(r: T) -> Self {
+        Complex::new(r, T::zero())
+    }
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        Complex::new(T::from_f64(v), T::zero())
+    }
+    #[inline(always)]
+    fn from_parts(re: f64, im: f64) -> Self {
+        Complex::new(T::from_f64(re), T::from_f64(im))
+    }
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        Complex::is_finite(self)
+    }
+    #[inline(always)]
+    fn is_complex() -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+
+    fn generic_roundtrip<S: Scalar>() {
+        let x = S::from_f64(2.0);
+        assert_eq!(x.re().to_f64(), 2.0);
+        assert_eq!((x * x).re().to_f64(), 4.0);
+        assert_eq!(S::zero() + S::one(), S::one());
+        assert!(x.is_finite());
+        let n = x.abs_sqr();
+        assert_eq!(n.to_f64(), 4.0);
+    }
+
+    #[test]
+    fn scalar_impls_agree() {
+        generic_roundtrip::<f32>();
+        generic_roundtrip::<f64>();
+        generic_roundtrip::<C64>();
+    }
+
+    #[test]
+    fn complex_scalar_conjugation() {
+        let z = C64::from_parts(1.0, 2.0);
+        assert_eq!(z.conj(), C64::from_parts(1.0, -2.0));
+        // conj(z) * z = |z|² (real)
+        let p = z.conj() * z;
+        assert!((p.re() - 5.0).abs() < 1e-14);
+        assert!(p.im().abs() < 1e-14);
+    }
+
+    #[test]
+    fn real_words() {
+        assert_eq!(<f64 as Scalar>::real_words(), 1);
+        assert_eq!(<C64 as Scalar>::real_words(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Coordinate (triplet) sparse-matrix builder.
+
+use crate::Csr;
+use kryst_scalar::Scalar;
+
+/// Triplet accumulator: duplicates are summed on conversion, which is the
+/// natural interface for finite-element assembly (elasticity, Maxwell edge
+/// stencils) where element contributions overlap.
+#[derive(Clone, Debug)]
+pub struct Coo<S> {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<S>,
+}
+
+impl<S: Scalar> Coo<S> {
+    /// Empty builder with the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Builder with a capacity hint (number of expected triplets).
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Add `v` at `(i, j)`; duplicates accumulate.
+    #[inline]
+    pub fn push(&mut self, i: usize, j: usize, v: S) {
+        debug_assert!(i < self.nrows && j < self.ncols, "Coo::push out of bounds");
+        if v == S::zero() {
+            return;
+        }
+        self.rows.push(i);
+        self.cols.push(j);
+        self.vals.push(v);
+    }
+
+    /// Convert to CSR, summing duplicates and sorting column indices per row.
+    pub fn to_csr(&self) -> Csr<S> {
+        // Counting sort by row.
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order = vec![0usize; self.nnz()];
+        let mut next = counts.clone();
+        for (t, &r) in self.rows.iter().enumerate() {
+            order[next[r]] = t;
+            next[r] += 1;
+        }
+        // Per-row: sort by column, merge duplicates.
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut data = Vec::with_capacity(self.nnz());
+        indptr.push(0);
+        let mut rowbuf: Vec<(usize, S)> = Vec::new();
+        for r in 0..self.nrows {
+            rowbuf.clear();
+            for &t in &order[counts[r]..counts[r + 1]] {
+                rowbuf.push((self.cols[t], self.vals[t]));
+            }
+            rowbuf.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < rowbuf.len() {
+                let c = rowbuf[k].0;
+                let mut v = rowbuf[k].1;
+                k += 1;
+                while k < rowbuf.len() && rowbuf[k].0 == c {
+                    v += rowbuf[k].1;
+                    k += 1;
+                }
+                if v != S::zero() {
+                    indices.push(c);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr::from_raw(self.nrows, self.ncols, indptr, indices, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut c = Coo::<f64>::new(3, 3);
+        c.push(0, 0, 1.0);
+        c.push(0, 0, 2.0);
+        c.push(2, 1, -1.0);
+        c.push(1, 2, 4.0);
+        let m = c.to_csr();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(2, 1), -1.0);
+        assert_eq!(m.get(1, 2), 4.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn zero_entries_dropped() {
+        let mut c = Coo::<f64>::new(2, 2);
+        c.push(0, 0, 0.0);
+        c.push(1, 1, 5.0);
+        c.push(1, 1, -5.0);
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn columns_sorted() {
+        let mut c = Coo::<f64>::new(1, 5);
+        c.push(0, 4, 1.0);
+        c.push(0, 0, 2.0);
+        c.push(0, 2, 3.0);
+        let m = c.to_csr();
+        assert_eq!(m.row_indices(0), &[0, 2, 4]);
+    }
+}

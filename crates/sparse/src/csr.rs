@@ -1,0 +1,337 @@
+//! Compressed sparse row matrix.
+
+use kryst_dense::DMat;
+use kryst_scalar::{Real, Scalar};
+use rayon::prelude::*;
+
+/// Compressed sparse row matrix with sorted column indices per row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr<S> {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<S>,
+}
+
+/// Row count below which SpMV/SpMM stay single-threaded.
+const PAR_ROWS: usize = 4096;
+
+impl<S: Scalar> Csr<S> {
+    /// Build from raw CSR arrays (validated).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<S>,
+    ) -> Self {
+        assert_eq!(indptr.len(), nrows + 1);
+        assert_eq!(indices.len(), data.len());
+        assert_eq!(*indptr.last().unwrap(), indices.len());
+        debug_assert!(indices.iter().all(|&c| c < ncols), "column index out of range");
+        Self { nrows, ncols, indptr, indices, data }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        Self::from_raw(n, n, (0..=n).collect(), (0..n).collect(), vec![S::one(); n])
+    }
+
+    /// Diagonal matrix from a vector of entries.
+    pub fn from_diag(d: &[S]) -> Self {
+        let n = d.len();
+        Self::from_raw(n, n, (0..=n).collect(), (0..n).collect(), d.to_vec())
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row pointer array.
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices of row `i`.
+    pub fn row_indices(&self, i: usize) -> &[usize] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    pub fn row_values(&self, i: usize) -> &[S] {
+        &self.data[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Mutable values of row `i`.
+    pub fn row_values_mut(&mut self, i: usize) -> &mut [S] {
+        &mut self.data[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Entry `(i, j)` (zero if not stored) — O(log nnz_row).
+    pub fn get(&self, i: usize, j: usize) -> S {
+        match self.row_indices(i).binary_search(&j) {
+            Ok(k) => self.row_values(i)[k],
+            Err(_) => S::zero(),
+        }
+    }
+
+    /// The diagonal as a vector (missing entries are zero).
+    pub fn diag(&self) -> Vec<S> {
+        (0..self.nrows.min(self.ncols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// `y ⟵ A·x` for a single vector.
+    pub fn spmv(&self, x: &[S], y: &mut [S]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        let kernel = |i: usize, yi: &mut S| {
+            let mut acc = S::zero();
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            for k in lo..hi {
+                acc += self.data[k] * x[self.indices[k]];
+            }
+            *yi = acc;
+        };
+        if self.nrows >= PAR_ROWS {
+            y.par_iter_mut().enumerate().for_each(|(i, yi)| kernel(i, yi));
+        } else {
+            y.iter_mut().enumerate().for_each(|(i, yi)| kernel(i, yi));
+        }
+    }
+
+    /// `Y ⟵ A·X` for a block of `p` vectors (sparse matrix–dense matrix
+    /// product). The row's nonzeros are read **once** and streamed across all
+    /// `p` columns — the arithmetic-intensity win of §V-B2.
+    pub fn spmm(&self, x: &DMat<S>, y: &mut DMat<S>) {
+        assert_eq!(x.nrows(), self.ncols);
+        assert_eq!(y.nrows(), self.nrows);
+        assert_eq!(x.ncols(), y.ncols());
+        let p = x.ncols();
+        if p == 1 {
+            let (xs, ys) = (x.col(0), y.col_mut(0));
+            // Reborrow through raw split to satisfy the borrow checker.
+            self.spmv(xs, ys);
+            return;
+        }
+        let n = self.nrows;
+        let xcols: Vec<&[S]> = (0..p).map(|j| x.col(j)).collect();
+        // Work on a row-major temporary so each row's p outputs are contiguous.
+        let mut tmp = vec![S::zero(); n * p];
+        let row_kernel = |i: usize, out: &mut [S]| {
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            for k in lo..hi {
+                let a = self.data[k];
+                let c = self.indices[k];
+                for (l, xc) in xcols.iter().enumerate() {
+                    out[l] += a * xc[c];
+                }
+            }
+        };
+        if n >= PAR_ROWS {
+            tmp.par_chunks_mut(p).enumerate().for_each(|(i, out)| row_kernel(i, out));
+        } else {
+            tmp.chunks_mut(p).enumerate().for_each(|(i, out)| row_kernel(i, out));
+        }
+        for (i, chunk) in tmp.chunks(p).enumerate() {
+            for (l, &v) in chunk.iter().enumerate() {
+                y[(i, l)] = v;
+            }
+        }
+    }
+
+    /// Convenience: allocate and return `A·X`.
+    pub fn apply(&self, x: &DMat<S>) -> DMat<S> {
+        let mut y = DMat::zeros(self.nrows, x.ncols());
+        self.spmm(x, &mut y);
+        y
+    }
+
+    /// (Conjugate-free) transpose.
+    pub fn transpose(&self) -> Self {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let mut indices = vec![0usize; self.nnz()];
+        let mut data = vec![S::zero(); self.nnz()];
+        let mut next = counts.clone();
+        for i in 0..self.nrows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let c = self.indices[k];
+                indices[next[c]] = i;
+                data[next[c]] = self.data[k];
+                next[c] += 1;
+            }
+        }
+        Self::from_raw(self.ncols, self.nrows, counts, indices, data)
+    }
+
+    /// Extract the principal submatrix on the index set `rows` (which also
+    /// selects columns): `A(rows, rows)`. `rows` need not be sorted; the
+    /// result uses the local ordering of `rows`. Used to form subdomain
+    /// operators `R_i·A·R_iᵀ` for Schwarz methods.
+    pub fn principal_submatrix(&self, rows: &[usize]) -> Self {
+        let mut global_to_local = vec![usize::MAX; self.ncols];
+        for (l, &g) in rows.iter().enumerate() {
+            global_to_local[g] = l;
+        }
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        let mut rowbuf: Vec<(usize, S)> = Vec::new();
+        for &g in rows {
+            rowbuf.clear();
+            for k in self.indptr[g]..self.indptr[g + 1] {
+                let lc = global_to_local[self.indices[k]];
+                if lc != usize::MAX {
+                    rowbuf.push((lc, self.data[k]));
+                }
+            }
+            rowbuf.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &rowbuf {
+                indices.push(c);
+                data.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        Self::from_raw(rows.len(), rows.len(), indptr, indices, data)
+    }
+
+    /// `A + α·I` (square matrices).
+    pub fn shift_diag(&self, alpha: S) -> Self {
+        assert_eq!(self.nrows, self.ncols);
+        let mut coo = crate::Coo::with_capacity(self.nrows, self.ncols, self.nnz() + self.nrows);
+        for i in 0..self.nrows {
+            for (k, &c) in self.row_indices(i).iter().enumerate() {
+                coo.push(i, c, self.row_values(i)[k]);
+            }
+            coo.push(i, i, alpha);
+        }
+        coo.to_csr()
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn inf_norm(&self) -> S::Real {
+        let mut best = S::Real::zero();
+        for i in 0..self.nrows {
+            let mut acc = S::Real::zero();
+            for &v in self.row_values(i) {
+                acc += v.abs();
+            }
+            best = best.max(acc);
+        }
+        best
+    }
+
+    /// Check structural symmetry of the sparsity pattern.
+    pub fn is_pattern_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        self.indptr == t.indptr && self.indices == t.indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn small() -> Csr<f64> {
+        // [2 -1 0; -1 2 -1; 0 -1 2]
+        let mut c = Coo::new(3, 3);
+        for i in 0..3 {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, i - 1, -1.0);
+            }
+            if i < 2 {
+                c.push(i, i + 1, -1.0);
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn spmm_matches_repeated_spmv() {
+        let a = small();
+        let x = DMat::from_fn(3, 4, |i, j| (i * 4 + j) as f64 - 5.0);
+        let y = a.apply(&x);
+        for j in 0..4 {
+            let xj: Vec<f64> = x.col(j).to_vec();
+            let mut yj = vec![0.0; 3];
+            a.spmv(&xj, &mut yj);
+            for i in 0..3 {
+                assert!((y[(i, j)] - yj[i]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut c = Coo::<f64>::new(3, 4);
+        c.push(0, 1, 1.0);
+        c.push(0, 3, 2.0);
+        c.push(2, 0, 3.0);
+        let a = c.to_csr();
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.get(1, 0), 1.0);
+        assert_eq!(t.get(3, 0), 2.0);
+        assert_eq!(t.get(0, 2), 3.0);
+        let tt = t.transpose();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn principal_submatrix_local_ordering() {
+        let a = small();
+        let sub = a.principal_submatrix(&[2, 0]);
+        // local 0 = global 2, local 1 = global 0. No coupling between 0 and 2.
+        assert_eq!(sub.get(0, 0), 2.0);
+        assert_eq!(sub.get(1, 1), 2.0);
+        assert_eq!(sub.get(0, 1), 0.0);
+        assert_eq!(sub.nnz(), 2);
+    }
+
+    #[test]
+    fn shift_and_norms() {
+        let a = small().shift_diag(3.0);
+        assert_eq!(a.get(1, 1), 5.0);
+        assert_eq!(small().inf_norm(), 4.0);
+        assert!(small().is_pattern_symmetric());
+    }
+
+    #[test]
+    fn diag_extraction() {
+        assert_eq!(small().diag(), vec![2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Sparse matrix–matrix products (Gustavson's algorithm) and the Galerkin
+//! triple product used by the multigrid hierarchy.
+
+use crate::Csr;
+use kryst_scalar::Scalar;
+
+/// `C = A·B` (CSR × CSR) via row-merge with a dense accumulator.
+pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
+    assert_eq!(a.ncols(), b.nrows(), "spgemm: dimension mismatch");
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    let mut indices = Vec::new();
+    let mut data = Vec::new();
+    indptr.push(0);
+
+    // Dense accumulator with a generation stamp to avoid clearing.
+    let mut acc = vec![S::zero(); ncols];
+    let mut stamp = vec![usize::MAX; ncols];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for i in 0..nrows {
+        touched.clear();
+        for (k, &ac) in a.row_indices(i).iter().enumerate() {
+            let av = a.row_values(i)[k];
+            for (l, &bc) in b.row_indices(ac).iter().enumerate() {
+                let bv = b.row_values(ac)[l];
+                if stamp[bc] != i {
+                    stamp[bc] = i;
+                    acc[bc] = S::zero();
+                    touched.push(bc);
+                }
+                acc[bc] += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &c in &touched {
+            let v = acc[c];
+            if v != S::zero() {
+                indices.push(c);
+                data.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Csr::from_raw(nrows, ncols, indptr, indices, data)
+}
+
+/// Galerkin coarse operator `A_c = Rᵀ·A·R` with `R = Pᵀ` — i.e. `Pᵀ·A·P`
+/// given the prolongator `P` (the multigrid "RAP").
+pub fn galerkin_rap<S: Scalar>(a: &Csr<S>, p: &Csr<S>) -> Csr<S> {
+    let pt = p.transpose();
+    let ap = spgemm(a, p);
+    spgemm(&pt, &ap)
+}
+
+/// `A + B` with identical shapes.
+pub fn add<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    let mut coo = crate::Coo::with_capacity(a.nrows(), a.ncols(), a.nnz() + b.nnz());
+    for m in [a, b] {
+        for i in 0..m.nrows() {
+            for (k, &c) in m.row_indices(i).iter().enumerate() {
+                coo.push(i, c, m.row_values(i)[k]);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// `diag(d)·A` — row scaling.
+pub fn scale_rows<S: Scalar>(d: &[S], a: &Csr<S>) -> Csr<S> {
+    assert_eq!(d.len(), a.nrows());
+    let mut out = a.clone();
+    for i in 0..a.nrows() {
+        let s = d[i];
+        for v in out.row_values_mut(i) {
+            *v *= s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+    use kryst_dense::DMat;
+
+    fn dense_of(a: &Csr<f64>) -> DMat<f64> {
+        DMat::from_fn(a.nrows(), a.ncols(), |i, j| a.get(i, j))
+    }
+
+    fn rand_csr(nr: usize, nc: usize, seed: usize) -> Csr<f64> {
+        let mut c = Coo::new(nr, nc);
+        for i in 0..nr {
+            for j in 0..nc {
+                let h = (i * 31 + j * 17 + seed * 101) % 7;
+                if h < 3 {
+                    c.push(i, j, (h as f64) - 1.0 + 0.5);
+                }
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a = rand_csr(6, 5, 1);
+        let b = rand_csr(5, 7, 2);
+        let c = spgemm(&a, &b);
+        let ad = dense_of(&a);
+        let bd = dense_of(&b);
+        let cd = kryst_dense::blas::matmul(&ad, kryst_dense::Op::None, &bd, kryst_dense::Op::None);
+        for i in 0..6 {
+            for j in 0..7 {
+                assert!((c.get(i, j) - cd[(i, j)]).abs() < 1e-13, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn rap_symmetric_for_symmetric_a() {
+        // A = tridiagonal SPD; P = simple aggregation (pairs).
+        let n = 8;
+        let mut ac = Coo::new(n, n);
+        for i in 0..n {
+            ac.push(i, i, 2.0);
+            if i > 0 {
+                ac.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                ac.push(i, i + 1, -1.0);
+            }
+        }
+        let a = ac.to_csr();
+        let mut pc = Coo::new(n, n / 2);
+        for i in 0..n {
+            pc.push(i, i / 2, 1.0);
+        }
+        let p = pc.to_csr();
+        let acoarse = galerkin_rap(&a, &p);
+        assert_eq!(acoarse.nrows(), n / 2);
+        for i in 0..n / 2 {
+            for j in 0..n / 2 {
+                assert!((acoarse.get(i, j) - acoarse.get(j, i)).abs() < 1e-13);
+            }
+        }
+        // Row sums of the coarse Laplacian vanish in the interior.
+        let mid = n / 4;
+        let s: f64 = acoarse.row_values(mid).iter().sum();
+        assert!(s.abs() < 1e-13);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = rand_csr(4, 4, 3);
+        let b = rand_csr(4, 4, 4);
+        let c = add(&a, &b);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((c.get(i, j) - a.get(i, j) - b.get(i, j)).abs() < 1e-14);
+            }
+        }
+        let d = vec![2.0; 4];
+        let s = scale_rows(&d, &a);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((s.get(i, j) - 2.0 * a.get(i, j)).abs() < 1e-14);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! `ex32` analogue — the paper's §IV-B workload at laptop scale.
+//!
+//! Compares FGMRES(30) against FGCRO-DR(30,10) on the four ν-parameterized
+//! right-hand sides, with a *variable* GAMG preconditioner (inner GMRES
+//! smoother), printing the artifact-description table format:
+//!
+//! ```text
+//! <rhs index> <iterations> <time to solution (s)>
+//! ```
+//!
+//! Usage: `cargo run --release --example poisson_sequence [nx]`
+
+use kryst_core::{gcrodr, gmres, PrecondSide, SolveOpts, SolverContext};
+use kryst_dense::DMat;
+use kryst_pde::poisson::{paper_rhs_sequence, poisson2d};
+use kryst_precond::{Amg, AmgOpts, SmootherKind};
+use std::time::Instant;
+
+fn main() {
+    let nx = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    let prob = poisson2d::<f64>(nx, nx);
+    let n = prob.a.nrows();
+    let rhss = paper_rhs_sequence::<f64>(nx, nx);
+    println!("Poisson {nx}×{nx} (n = {n}), GAMG + GMRES(3) smoother, rtol 1e-8");
+
+    let t0 = Instant::now();
+    let amg = Amg::new(
+        &prob.a,
+        prob.near_nullspace.as_ref(),
+        &AmgOpts { smoother: SmootherKind::Gmres { iters: 3 }, ..Default::default() },
+    );
+    println!(
+        "preconditioner setup: {:.3}s ({} levels, complexity {:.2})",
+        t0.elapsed().as_secs_f64(),
+        amg.nlevels(),
+        amg.operator_complexity()
+    );
+
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        restart: 30,
+        recycle: 10,
+        side: PrecondSide::Flexible,
+        same_system: true,
+        ..Default::default()
+    };
+
+    println!("\nPETSc (FGMRES)");
+    let mut tot = (0usize, 0.0f64);
+    for (i, rhs) in rhss.iter().enumerate() {
+        let b = DMat::from_col_major(n, 1, rhs.clone());
+        let mut x = DMat::zeros(n, 1);
+        let t = Instant::now();
+        let res = gmres::solve(&prob.a, &amg, &b, &mut x, &opts);
+        let dt = t.elapsed().as_secs_f64();
+        assert!(res.converged);
+        println!("{:>2} {:>6} {:>10.6}", i + 1, res.iterations, dt);
+        tot.0 += res.iterations;
+        tot.1 += dt;
+    }
+    println!("------------------------\n   {:>6} {:>10.6}", tot.0, tot.1);
+    let fgmres_total = tot;
+
+    println!("\nHPDDM (FGCRO-DR)");
+    let mut ctx = SolverContext::new();
+    let mut tot = (0usize, 0.0f64);
+    for (i, rhs) in rhss.iter().enumerate() {
+        let b = DMat::from_col_major(n, 1, rhs.clone());
+        let mut x = DMat::zeros(n, 1);
+        let t = Instant::now();
+        let res = gcrodr::solve(&prob.a, &amg, &b, &mut x, &opts, &mut ctx);
+        let dt = t.elapsed().as_secs_f64();
+        assert!(res.converged);
+        println!("{:>2} {:>6} {:>10.6}", i + 1, res.iterations, dt);
+        tot.0 += res.iterations;
+        tot.1 += dt;
+    }
+    println!("------------------------\n   {:>6} {:>10.6}", tot.0, tot.1);
+    println!(
+        "\ncumulative gain: {:+.1}% time, {:+.1}% iterations",
+        (fgmres_total.1 / tot.1 - 1.0) * 100.0,
+        (fgmres_total.0 as f64 / tot.0 as f64 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,77 @@
+//! Quickstart: solve a sequence of linear systems with GMRES, then with
+//! GCRO-DR, and watch recycling cut the iteration counts — the
+//! artifact-description experiment of the paper (`ex32` with
+//! `-hpddm_krylov_method gcrodr -hpddm_recycle 10 -hpddm_recycle_same_system`).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kryst_core::{gcrodr, gmres, SolveOpts, SolverContext};
+use kryst_dense::DMat;
+use kryst_par::IdentityPrecond;
+use kryst_pde::poisson::{paper_rhs_sequence, poisson2d};
+use kryst_precond::Jacobi;
+use std::time::Instant;
+
+fn main() {
+    // 1. Build a problem: 2-D Poisson, like PETSc's ex32.
+    let (nx, ny) = (60, 60);
+    let prob = poisson2d::<f64>(nx, ny);
+    let n = prob.a.nrows();
+    println!("Poisson {nx}×{ny}: n = {n}, nnz = {}", prob.a.nnz());
+
+    // 2. A simple preconditioner (point Jacobi, like the artifact's default
+    //    PETSc setting) — or use `IdentityPrecond` for none, or the AMG /
+    //    Schwarz preconditioners from `kryst-precond` for the full setup.
+    let jac = Jacobi::new(&prob.a, 1.0);
+    let _unpreconditioned = IdentityPrecond::new(n);
+
+    // 3. Four right-hand sides, solved one after another (a time-dependent
+    //    workload: the operator never changes).
+    let rhss = paper_rhs_sequence::<f64>(nx, ny);
+    let opts = SolveOpts {
+        rtol: 1e-6,
+        restart: 30,
+        recycle: 10,
+        same_system: true,
+        ..Default::default()
+    };
+
+    println!("\nPETSc-style baseline (GMRES)");
+    let mut total_it = 0;
+    let mut total_t = 0.0;
+    for (i, rhs) in rhss.iter().enumerate() {
+        let b = DMat::from_col_major(n, 1, rhs.clone());
+        let mut x = DMat::zeros(n, 1);
+        let t0 = Instant::now();
+        let res = gmres::solve(&prob.a, &jac, &b, &mut x, &opts);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(res.converged);
+        println!("{:>2} {:>8} {:>10.6}", i + 1, res.iterations, dt);
+        total_it += res.iterations;
+        total_t += dt;
+    }
+    println!("------------------------\n   {total_it:>8} {total_t:>10.6}");
+
+    println!("\nHPDDM-style recycling (GCRO-DR)");
+    let mut ctx = SolverContext::new();
+    let mut total_it = 0;
+    let mut total_t = 0.0;
+    for (i, rhs) in rhss.iter().enumerate() {
+        let b = DMat::from_col_major(n, 1, rhs.clone());
+        let mut x = DMat::zeros(n, 1);
+        let t0 = Instant::now();
+        let res = gcrodr::solve(&prob.a, &jac, &b, &mut x, &opts, &mut ctx);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(res.converged);
+        println!("{:>2} {:>8} {:>10.6}", i + 1, res.iterations, dt);
+        total_it += res.iterations;
+        total_t += dt;
+    }
+    println!("------------------------\n   {total_it:>8} {total_t:>10.6}");
+    println!("\nGCRO-DR recycles the Krylov subspace across the sequence — the");
+    println!("first solve pays for the deflation space, every later solve starts");
+    println!("from it (paper artifact output: 288 vs 147 total iterations).");
+}

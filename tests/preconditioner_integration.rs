@@ -1,0 +1,172 @@
+//! Preconditioner behaviour at integration scale: AMG hierarchies, Schwarz
+//! variants, and the trade-offs the paper measures.
+
+use kryst_core::{gmres, PrecondSide, SolveOpts};
+use kryst_dense::DMat;
+use kryst_pde::elasticity::{elasticity3d, ElasticityOpts};
+use kryst_pde::maxwell::{antenna_ring_rhs, maxwell3d, MaxwellParams};
+use kryst_pde::poisson::poisson2d;
+use kryst_precond::{Amg, AmgOpts, Schwarz, SchwarzOpts, SchwarzVariant, SmootherKind};
+use kryst_scalar::C64;
+use kryst_sparse::partition::partition_rcb;
+
+#[test]
+fn amg_iteration_count_is_grid_independent() {
+    // The multigrid signature: iterations stay O(1) as the grid refines.
+    let mut counts = Vec::new();
+    for nx in [16usize, 32, 64] {
+        let prob = poisson2d::<f64>(nx, nx);
+        let n = prob.a.nrows();
+        let amg = Amg::new(&prob.a, prob.near_nullspace.as_ref(), &AmgOpts::default());
+        let b = DMat::from_fn(n, 1, |i, _| ((i % 5) as f64) - 2.0);
+        let mut x = DMat::zeros(n, 1);
+        let opts = SolveOpts { rtol: 1e-8, ..Default::default() };
+        let res = gmres::solve(&prob.a, &amg, &b, &mut x, &opts);
+        assert!(res.converged, "nx = {nx}");
+        counts.push(res.iterations);
+    }
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    assert!(max <= 2 * min + 6, "not grid-independent: {counts:?}");
+    assert!(max <= 30, "AMG too weak: {counts:?}");
+}
+
+#[test]
+fn smoother_strength_trades_setup_for_iterations() {
+    // §IV-B's observation: a cheaper cycle (1 smoothing step) needs more
+    // outer iterations than a richer one (3 steps).
+    let prob = poisson2d::<f64>(48, 48);
+    let n = prob.a.nrows();
+    let b = DMat::from_fn(n, 1, |i, _| (((i * 3) % 13) as f64) - 6.0);
+    let mut iters = Vec::new();
+    for smoothing in [3usize, 1] {
+        let amg = Amg::new(
+            &prob.a,
+            prob.near_nullspace.as_ref(),
+            &AmgOpts { smoother: SmootherKind::Gmres { iters: smoothing }, ..Default::default() },
+        );
+        let mut x = DMat::zeros(n, 1);
+        let opts = SolveOpts { rtol: 1e-8, side: PrecondSide::Flexible, ..Default::default() };
+        let res = gmres::solve(&prob.a, &amg, &b, &mut x, &opts);
+        assert!(res.converged);
+        iters.push(res.iterations);
+    }
+    assert!(iters[1] > iters[0], "GMRES(1) {} !> GMRES(3) {}", iters[1], iters[0]);
+}
+
+#[test]
+fn rigid_body_modes_improve_elasticity_amg() {
+    let prob = elasticity3d::<f64>(&ElasticityOpts { ne: 6, ..Default::default() });
+    let a = &prob.problem.a;
+    let n = a.nrows();
+    let b = DMat::from_fn(n, 1, |i, _| prob.rhs[i]);
+    let opts = SolveOpts { rtol: 1e-8, max_iters: 400, ..Default::default() };
+    let mut iters = Vec::new();
+    for use_rbm in [true, false] {
+        let ns = if use_rbm { prob.problem.near_nullspace.as_ref() } else { None };
+        let amg = Amg::new(a, ns, &AmgOpts { smoother: SmootherKind::Chebyshev { degree: 2 }, ..Default::default() });
+        let mut x = DMat::zeros(n, 1);
+        let res = gmres::solve(a, &amg, &b, &mut x, &opts);
+        assert!(res.converged, "use_rbm = {use_rbm}");
+        iters.push(res.iterations);
+    }
+    assert!(
+        iters[0] < iters[1],
+        "RBM near-nullspace must help: {} !< {}",
+        iters[0],
+        iters[1]
+    );
+}
+
+#[test]
+fn overlap_improves_schwarz_convergence() {
+    let prob = poisson2d::<f64>(32, 32);
+    let n = prob.a.nrows();
+    let part = partition_rcb(&prob.coords, 8);
+    let b = DMat::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
+    let opts = SolveOpts { rtol: 1e-8, restart: 200, max_iters: 200, ..Default::default() };
+    let mut iters = Vec::new();
+    for overlap in [1usize, 3] {
+        let ras = Schwarz::new(
+            &prob.a,
+            &part,
+            &SchwarzOpts { variant: SchwarzVariant::Ras, overlap, impedance: 0.0 },
+        );
+        let mut x = DMat::zeros(n, 1);
+        let res = gmres::solve(&prob.a, &ras, &b, &mut x, &opts);
+        assert!(res.converged, "overlap = {overlap}");
+        iters.push(res.iterations);
+    }
+    assert!(iters[1] < iters[0], "overlap 3 ({}) !< overlap 1 ({})", iters[1], iters[0]);
+}
+
+#[test]
+fn more_subdomains_more_iterations_one_level_schwarz() {
+    // One-level methods are not scalable — iteration growth with N is the
+    // reason the paper's Fig. 7 solve fraction grows.
+    let prob = poisson2d::<f64>(32, 32);
+    let n = prob.a.nrows();
+    let b = DMat::from_fn(n, 1, |i, _| ((i % 4) as f64) - 1.5);
+    let opts = SolveOpts { rtol: 1e-8, restart: 300, max_iters: 300, ..Default::default() };
+    let mut iters = Vec::new();
+    for nsub in [2usize, 16] {
+        let part = partition_rcb(&prob.coords, nsub);
+        let ras = Schwarz::new(
+            &prob.a,
+            &part,
+            &SchwarzOpts { variant: SchwarzVariant::Ras, overlap: 2, impedance: 0.0 },
+        );
+        let mut x = DMat::zeros(n, 1);
+        let res = gmres::solve(&prob.a, &ras, &b, &mut x, &opts);
+        assert!(res.converged, "nsub = {nsub}");
+        iters.push(res.iterations);
+    }
+    assert!(iters[1] > iters[0], "N = 16 ({}) !> N = 2 ({})", iters[1], iters[0]);
+}
+
+#[test]
+fn fig4_shape_oras_beats_asm_and_amg_on_maxwell() {
+    // The Fig. 4 statement as a test: iterations(ORAS) < iterations(ASM)
+    // and AMG fails or is far slower on the indefinite complex system.
+    let params = MaxwellParams::chamber_hard(10);
+    let (prob, geom) = maxwell3d(&params);
+    let n = prob.a.nrows();
+    let part = partition_rcb(&prob.coords, 8);
+    let b = antenna_ring_rhs(&geom, &params, 1, 0.3, 0.5);
+    let opts = SolveOpts { rtol: 1e-6, restart: 200, max_iters: 200, ..Default::default() };
+
+    let oras = Schwarz::<C64>::new(
+        &prob.a,
+        &part,
+        &SchwarzOpts { variant: SchwarzVariant::Oras, overlap: 2, impedance: params.omega },
+    );
+    let mut x = DMat::<C64>::zeros(n, 1);
+    let res_oras = gmres::solve(&prob.a, &oras, &b, &mut x, &opts);
+    assert!(res_oras.converged, "ORAS must converge: {:?}", res_oras.final_relres);
+
+    let asm = Schwarz::<C64>::new(
+        &prob.a,
+        &part,
+        &SchwarzOpts { variant: SchwarzVariant::Asm, overlap: 1, impedance: 0.0 },
+    );
+    let mut x = DMat::<C64>::zeros(n, 1);
+    let res_asm = gmres::solve(&prob.a, &asm, &b, &mut x, &opts);
+
+    let amg = Amg::new(
+        &prob.a,
+        None,
+        &AmgOpts { smoother: SmootherKind::Jacobi { omega: 0.6, iters: 2 }, ..Default::default() },
+    );
+    let mut x = DMat::<C64>::zeros(n, 1);
+    let res_amg = gmres::solve(&prob.a, &amg, &b, &mut x, &opts);
+
+    let oras_iters = res_oras.iterations;
+    let asm_iters = if res_asm.converged { res_asm.iterations } else { usize::MAX };
+    let amg_iters = if res_amg.converged { res_amg.iterations } else { usize::MAX };
+    assert!(
+        oras_iters < asm_iters && oras_iters < amg_iters,
+        "ORAS {oras_iters} vs ASM {:?} vs AMG {:?}",
+        res_asm.converged.then_some(res_asm.iterations),
+        res_amg.converged.then_some(res_amg.iterations)
+    );
+}

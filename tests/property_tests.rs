@@ -1,0 +1,244 @@
+//! Property-based tests (proptest) on the core kernels and invariants.
+
+use kryst_core::{gmres, SolveOpts};
+use kryst_dense::blas::{adjoint_times, matmul, Op};
+use kryst_dense::{chol, eig, lu, qr, DMat};
+use kryst_par::IdentityPrecond;
+use kryst_sparse::partition::{grow_overlap, partition_of_unity, partition_rcb};
+use kryst_sparse::{band::BandLu, band::BandMat, order, Coo, Csr};
+use proptest::prelude::*;
+
+/// Random well-conditioned tall matrix.
+fn tall_matrix(n: usize, k: usize) -> impl Strategy<Value = DMat<f64>> {
+    prop::collection::vec(-5.0..5.0f64, n * k).prop_map(move |v| {
+        let mut m = DMat::from_col_major(n, k, v);
+        // Diagonal boost keeps the columns independent.
+        for j in 0..k {
+            m[(j, j)] += 10.0;
+        }
+        m
+    })
+}
+
+/// Random SPD sparse matrix: tridiagonal-dominant with random couplings.
+fn spd_csr(n: usize) -> impl Strategy<Value = Csr<f64>> {
+    prop::collection::vec(0.1..1.0f64, n).prop_map(move |off| {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            let mut d = 1.0;
+            if i > 0 {
+                c.push(i, i - 1, -off[i]);
+                c.push(i - 1, i, -off[i]);
+                d += off[i];
+            }
+            if i + 1 < n {
+                d += off[(i + 1) % n];
+            }
+            c.push(i, i, d + 0.5);
+        }
+        c.to_csr()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cholqr_produces_orthonormal_columns(m in tall_matrix(30, 4)) {
+        let mut q = m.clone();
+        let out = chol::cholqr(&mut q);
+        prop_assert_eq!(out.rank, 4);
+        let g = adjoint_times(&q, &q);
+        for i in 0..4 {
+            for j in 0..4 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((g[(i, j)] - e).abs() < 1e-8);
+            }
+        }
+        // V = Q·R reconstruction.
+        let rec = matmul(&q, Op::None, &out.r, Op::None);
+        for i in 0..30 {
+            for j in 0..4 {
+                prop_assert!((rec[(i, j)] - m[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn householder_qr_least_squares_is_optimal(m in tall_matrix(20, 3), v in prop::collection::vec(-3.0..3.0f64, 20)) {
+        let b = DMat::from_col_major(20, 1, v);
+        let f = qr::HouseholderQr::factor(m.clone());
+        let x = f.solve_ls(&b);
+        // Optimality ⟺ Aᴴ(b − A·x) = 0.
+        let mut r = matmul(&m, Op::None, &x, Op::None);
+        r.scale(-1.0);
+        r.axpy(1.0, &b);
+        let g = adjoint_times(&m, &r);
+        prop_assert!(g.max_abs() < 1e-9, "normal-equations residual {}", g.max_abs());
+    }
+
+    #[test]
+    fn dense_lu_inverts(m in tall_matrix(12, 12)) {
+        let f = lu::Lu::factor(m.clone());
+        prop_assume!(!f.is_singular());
+        let b = DMat::from_fn(12, 2, |i, j| ((i * 3 + j) % 5) as f64 - 2.0);
+        let x = f.solve(&b);
+        let ax = matmul(&m, Op::None, &x, Op::None);
+        for i in 0..12 {
+            for j in 0..2 {
+                prop_assert!((ax[(i, j)] - b[(i, j)]).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn eig_residuals_small_for_random_matrices(m in tall_matrix(8, 8)) {
+        let d = eig::eig(&m);
+        prop_assume!(d.converged);
+        let mc = eig::to_complex(&m);
+        let av = matmul(&mc, Op::None, &d.vectors, Op::None);
+        for j in 0..8 {
+            for i in 0..8 {
+                let want = d.vectors[(i, j)] * d.values[j];
+                prop_assert!(
+                    (av[(i, j)] - want).abs() < 1e-6 * (1.0 + d.values[j].abs()),
+                    "eig residual at ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coo_to_csr_preserves_entries(
+        entries in prop::collection::vec((0usize..15, 0usize..15, -4.0..4.0f64), 1..60)
+    ) {
+        let mut c = Coo::new(15, 15);
+        let mut dense = vec![[0.0f64; 15]; 15];
+        for &(i, j, v) in &entries {
+            c.push(i, j, v);
+            dense[i][j] += v;
+        }
+        let m = c.to_csr();
+        for i in 0..15 {
+            for j in 0..15 {
+                prop_assert!((m.get(i, j) - dense[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_product(a in spd_csr(20), v in prop::collection::vec(-2.0..2.0f64, 20 * 3)) {
+        let x = DMat::from_col_major(20, 3, v);
+        let y = a.apply(&x);
+        let ad = DMat::from_fn(20, 20, |i, j| a.get(i, j));
+        let yd = matmul(&ad, Op::None, &x, Op::None);
+        for i in 0..20 {
+            for j in 0..3 {
+                prop_assert!((y[(i, j)] - yd[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rcm_is_a_permutation_and_preserves_symmetry(a in spd_csr(25)) {
+        let perm = order::rcm(&a);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..25).collect::<Vec<_>>());
+        let b = order::permute_sym(&a, &perm);
+        prop_assert!(b.is_pattern_symmetric());
+        prop_assert_eq!(a.nnz(), b.nnz());
+    }
+
+    #[test]
+    fn band_lu_round_trips(off in prop::collection::vec(-1.0..1.0f64, 18)) {
+        let n = 18;
+        let mut bm = BandMat::<f64>::zeros(n, 2, 2);
+        let mut dense = DMat::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in i.saturating_sub(2)..(i + 3).min(n) {
+                let v = if i == j { 6.0 + off[i] } else { off[(i + j) % n] };
+                bm.set(i, j, v);
+                dense[(i, j)] = v;
+            }
+        }
+        let f = BandLu::factor(bm);
+        prop_assume!(!f.is_singular());
+        let x_true: Vec<f64> = (0..n).map(|i| off[i] * 2.0 + 1.0).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += dense[(i, j)] * x_true[j];
+            }
+        }
+        f.solve_one(&mut b);
+        for i in 0..n {
+            prop_assert!((b[i] - x_true[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn partition_of_unity_always_sums_to_one(
+        seed in 0usize..1000, nparts in 2usize..6, overlap in 0usize..3
+    ) {
+        let n = 64;
+        let coords: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![((i * 7 + seed) % 8) as f64, (i / 8) as f64])
+            .collect();
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 4.0);
+            if i % 8 != 0 {
+                c.push(i, i - 1, -1.0);
+                c.push(i - 1, i, -1.0);
+            }
+            if i >= 8 {
+                c.push(i, i - 8, -1.0);
+                c.push(i - 8, i, -1.0);
+            }
+        }
+        let a = c.to_csr();
+        let part = partition_rcb(&coords, nparts);
+        let ov = grow_overlap(&a, &part, overlap);
+        let d = partition_of_unity(n, &ov);
+        let mut acc = vec![0.0; n];
+        for (set, w) in ov.iter().zip(&d) {
+            for (&i, &wi) in set.iter().zip(w) {
+                acc[i] += wi;
+            }
+        }
+        for v in &acc {
+            prop_assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gmres_always_converges_on_random_spd(a in spd_csr(30), v in prop::collection::vec(-1.0..1.0f64, 30)) {
+        let b = DMat::from_col_major(30, 1, v);
+        prop_assume!(b.fro_norm() > 1e-6);
+        let id = IdentityPrecond::new(30);
+        let mut x = DMat::zeros(30, 1);
+        let opts = SolveOpts { rtol: 1e-9, restart: 30, max_iters: 300, ..Default::default() };
+        let res = gmres::solve(&a, &id, &b, &mut x, &opts);
+        prop_assert!(res.converged);
+        // The reported residual must match the true one.
+        let mut r = a.apply(&x);
+        r.axpy(-1.0, &b);
+        let true_rel = r.col_norm(0) / b.col_norm(0);
+        prop_assert!(true_rel <= 1e-8, "true residual {}", true_rel);
+    }
+
+    #[test]
+    fn gmres_history_is_monotone_within_cycles(a in spd_csr(24), v in prop::collection::vec(-1.0..1.0f64, 24)) {
+        let b = DMat::from_col_major(24, 1, v);
+        prop_assume!(b.fro_norm() > 1e-6);
+        let id = IdentityPrecond::new(24);
+        let mut x = DMat::zeros(24, 1);
+        let opts = SolveOpts { rtol: 1e-10, restart: 50, max_iters: 200, ..Default::default() };
+        let res = gmres::solve(&a, &id, &b, &mut x, &opts);
+        prop_assume!(res.converged && res.iterations <= 50); // single cycle
+        for w in res.history.windows(2) {
+            prop_assert!(w[1][0] <= w[0][0] + 1e-12, "non-monotone GMRES residual");
+        }
+    }
+}
