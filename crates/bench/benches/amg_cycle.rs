@@ -1,7 +1,8 @@
 //! AMG setup and V-cycle application cost vs strength threshold — the
 //! `-pc_gamg_threshold` trade-off of §IV-B.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kryst_bench::harness::{BenchmarkId, Criterion};
+use kryst_bench::{criterion_group, criterion_main};
 use kryst_dense::DMat;
 use kryst_par::PrecondOp;
 use kryst_pde::poisson::poisson2d;
@@ -19,7 +20,10 @@ fn bench_amg(c: &mut Criterion) {
                 Amg::new(
                     &prob.a,
                     prob.near_nullspace.as_ref(),
-                    &AmgOpts { threshold: thr, ..Default::default() },
+                    &AmgOpts {
+                        threshold: thr,
+                        ..Default::default()
+                    },
                 )
             });
         });
@@ -30,12 +34,21 @@ fn bench_amg(c: &mut Criterion) {
     for (name, smoother) in [
         ("chebyshev2", SmootherKind::Chebyshev { degree: 2 }),
         ("gmres3", SmootherKind::Gmres { iters: 3 }),
-        ("jacobi2", SmootherKind::Jacobi { omega: 0.67, iters: 2 }),
+        (
+            "jacobi2",
+            SmootherKind::Jacobi {
+                omega: 0.67,
+                iters: 2,
+            },
+        ),
     ] {
         let amg = Amg::new(
             &prob.a,
             prob.near_nullspace.as_ref(),
-            &AmgOpts { smoother, ..Default::default() },
+            &AmgOpts {
+                smoother,
+                ..Default::default()
+            },
         );
         g.bench_with_input(BenchmarkId::from_parameter(name), &amg, |bch, amg| {
             bch.iter(|| amg.apply_new(&r));

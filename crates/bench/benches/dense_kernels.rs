@@ -1,7 +1,8 @@
 //! Dense kernels on GCRO-DR-sized problems: gemm, incremental QR,
 //! eigen-solves of the deflation dimension.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kryst_bench::harness::{BenchmarkId, Criterion};
+use kryst_bench::{criterion_group, criterion_main};
 use kryst_dense::qr::IncrementalQr;
 use kryst_dense::{blas, eig, DMat};
 

@@ -1,6 +1,7 @@
 //! Fig. 6 kernel: banded direct solve with p right-hand sides.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kryst_bench::harness::{BenchmarkId, Criterion, Throughput};
+use kryst_bench::{criterion_group, criterion_main};
 use kryst_dense::DMat;
 use kryst_pde::maxwell::{maxwell3d, MaxwellParams};
 use kryst_scalar::Complex;

@@ -1,7 +1,8 @@
 //! Block orthogonalization backends (CholQR vs CGS vs MGS vs IMGS vs TSQR)
 //! — the §III-A choice.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kryst_bench::harness::{BenchmarkId, Criterion};
+use kryst_bench::{criterion_group, criterion_main};
 use kryst_dense::gs::{orthogonalize_block, OrthScheme};
 use kryst_dense::{chol, tsqr, DMat};
 
@@ -22,23 +23,31 @@ fn bench_orth(c: &mut Criterion) {
         ("mgs", OrthScheme::Mgs),
         ("imgs", OrthScheme::Imgs),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |bch, &scheme| {
-            bch.iter(|| {
-                let mut w = w0.clone();
-                orthogonalize_block(&v, 20, &mut w, scheme)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &scheme,
+            |bch, &scheme| {
+                bch.iter(|| {
+                    let mut w = w0.clone();
+                    orthogonalize_block(&v, 20, &mut w, scheme)
+                });
+            },
+        );
     }
     g.finish();
 
     let mut g = c.benchmark_group("tsqr_tall_skinny");
     for blocks in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |bch, &blocks| {
-            bch.iter(|| {
-                let mut w = w0.clone();
-                tsqr::tsqr_orthonormalize(&mut w, blocks)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(blocks),
+            &blocks,
+            |bch, &blocks| {
+                bch.iter(|| {
+                    let mut w = w0.clone();
+                    tsqr::tsqr_orthonormalize(&mut w, blocks)
+                });
+            },
+        );
     }
     g.finish();
 }

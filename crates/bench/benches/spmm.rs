@@ -1,7 +1,8 @@
 //! SpMM arithmetic-intensity scaling with the number of RHS columns —
 //! the kernel argument of the paper's §V-B2.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kryst_bench::harness::{BenchmarkId, Criterion, Throughput};
+use kryst_bench::{criterion_group, criterion_main};
 use kryst_dense::DMat;
 use kryst_pde::poisson::poisson2d;
 

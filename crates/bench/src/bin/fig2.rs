@@ -12,13 +12,13 @@
 //! algorithm on a laptop-scale grid — the comparison (recycling gains per
 //! RHS, cumulative gain, convergence curves) is what the figure shows.
 
-use kryst_bench::{print_curve, rhs_row, rule, time};
+use kryst_bench::{print_curve, rhs_row, rule, time, traced_opts};
 use kryst_core::{gcrodr, gmres, PrecondSide, SolveOpts, SolverContext};
 use kryst_dense::DMat;
 use kryst_pde::poisson::{paper_rhs_sequence, poisson2d, PAPER_NUS};
 use kryst_precond::{Amg, AmgOpts, SmootherKind};
 
-fn run_setting(title: &str, nx: usize, threshold: f64, smoother_iters: usize) {
+fn run_setting(title: &str, tag: &str, nx: usize, threshold: f64, smoother_iters: usize) {
     rule();
     println!("{title}");
     rule();
@@ -31,7 +31,9 @@ fn run_setting(title: &str, nx: usize, threshold: f64, smoother_iters: usize) {
             prob.near_nullspace.as_ref(),
             &AmgOpts {
                 threshold,
-                smoother: SmootherKind::Gmres { iters: smoother_iters },
+                smoother: SmootherKind::Gmres {
+                    iters: smoother_iters,
+                },
                 ..Default::default()
             },
         )
@@ -51,16 +53,24 @@ fn run_setting(title: &str, nx: usize, threshold: f64, smoother_iters: usize) {
     };
 
     // FGMRES(30) baseline.
+    let fg_opts = traced_opts(&opts, &format!("{tag}_fgmres"));
     println!("\nFGMRES(30):");
-    println!("{:>4} {:>8} {:>12} {:>10}", "RHS", "iters", "seconds", "gain");
+    println!(
+        "{:>4} {:>8} {:>12} {:>10}",
+        "RHS", "iters", "seconds", "gain"
+    );
     let mut fg_times = Vec::new();
     let mut fg_total_iters = 0;
     let mut fg_hist = Vec::new();
     for (i, rhs) in rhss.iter().enumerate() {
         let b = DMat::from_col_major(n, 1, rhs.clone());
         let mut x = DMat::zeros(n, 1);
-        let (res, secs) = time(|| gmres::solve(&prob.a, &amg, &b, &mut x, &opts));
-        assert!(res.converged, "FGMRES diverged on RHS {i} (ν = {})", PAPER_NUS[i]);
+        let (res, secs) = time(|| gmres::solve(&prob.a, &amg, &b, &mut x, &fg_opts));
+        assert!(
+            res.converged,
+            "FGMRES diverged on RHS {i} (ν = {})",
+            PAPER_NUS[i]
+        );
         rhs_row(i + 1, res.iterations, secs, None);
         fg_times.push(secs);
         fg_total_iters += res.iterations;
@@ -68,8 +78,12 @@ fn run_setting(title: &str, nx: usize, threshold: f64, smoother_iters: usize) {
     }
 
     // FGCRO-DR(30,10) with recycling across the sequence.
+    let gc_opts = traced_opts(&opts, &format!("{tag}_fgcrodr"));
     println!("\nFGCRO-DR(30,10), -hpddm_recycle_same_system:");
-    println!("{:>4} {:>8} {:>12} {:>10}", "RHS", "iters", "seconds", "gain");
+    println!(
+        "{:>4} {:>8} {:>12} {:>10}",
+        "RHS", "iters", "seconds", "gain"
+    );
     let mut ctx = SolverContext::new();
     let mut gc_times = Vec::new();
     let mut gc_total_iters = 0;
@@ -77,7 +91,7 @@ fn run_setting(title: &str, nx: usize, threshold: f64, smoother_iters: usize) {
     for (i, rhs) in rhss.iter().enumerate() {
         let b = DMat::from_col_major(n, 1, rhs.clone());
         let mut x = DMat::zeros(n, 1);
-        let (res, secs) = time(|| gcrodr::solve(&prob.a, &amg, &b, &mut x, &opts, &mut ctx));
+        let (res, secs) = time(|| gcrodr::solve(&prob.a, &amg, &b, &mut x, &gc_opts, &mut ctx));
         assert!(res.converged, "FGCRO-DR diverged on RHS {i}");
         rhs_row(i + 1, res.iterations, secs, Some(fg_times[i]));
         gc_times.push(secs);
@@ -119,28 +133,36 @@ fn run_relaxed(nx: usize) {
         max_iters: 20000,
         ..Default::default()
     };
+    let g_opts = traced_opts(&opts, "fig2_relaxed_gmres");
     println!("\nGMRES(30):");
-    println!("{:>4} {:>8} {:>12} {:>10}", "RHS", "iters", "seconds", "gain");
+    println!(
+        "{:>4} {:>8} {:>12} {:>10}",
+        "RHS", "iters", "seconds", "gain"
+    );
     let mut g_times = Vec::new();
     let mut g_iters = 0;
     for (i, rhs) in rhss.iter().enumerate() {
         let b = DMat::from_col_major(n, 1, rhs.clone());
         let mut x = DMat::zeros(n, 1);
-        let (res, secs) = time(|| gmres::solve(&prob.a, &jac, &b, &mut x, &opts));
+        let (res, secs) = time(|| gmres::solve(&prob.a, &jac, &b, &mut x, &g_opts));
         assert!(res.converged);
         rhs_row(i + 1, res.iterations, secs, None);
         g_times.push(secs);
         g_iters += res.iterations;
     }
+    let r_opts = traced_opts(&opts, "fig2_relaxed_gcrodr");
     println!("\nGCRO-DR(30,10), -hpddm_recycle_same_system:");
-    println!("{:>4} {:>8} {:>12} {:>10}", "RHS", "iters", "seconds", "gain");
+    println!(
+        "{:>4} {:>8} {:>12} {:>10}",
+        "RHS", "iters", "seconds", "gain"
+    );
     let mut ctx = SolverContext::new();
     let mut r_times = Vec::new();
     let mut r_iters = 0;
     for (i, rhs) in rhss.iter().enumerate() {
         let b = DMat::from_col_major(n, 1, rhs.clone());
         let mut x = DMat::zeros(n, 1);
-        let (res, secs) = time(|| gcrodr::solve(&prob.a, &jac, &b, &mut x, &opts, &mut ctx));
+        let (res, secs) = time(|| gcrodr::solve(&prob.a, &jac, &b, &mut x, &r_opts, &mut ctx));
         assert!(res.converged);
         rhs_row(i + 1, res.iterations, secs, Some(g_times[i]));
         r_times.push(secs);
@@ -148,9 +170,7 @@ fn run_relaxed(nx: usize) {
     }
     let cg: f64 = g_times.iter().sum();
     let cr: f64 = r_times.iter().sum();
-    println!(
-        "\ntotal iterations: GMRES {g_iters}, GCRO-DR {r_iters} (artifact: 288 vs 147)"
-    );
+    println!("\ntotal iterations: GMRES {g_iters}, GCRO-DR {r_iters} (artifact: 288 vs 147)");
     println!("cumulative gain {:+.1}%", (cg / cr - 1.0) * 100.0);
 }
 
@@ -162,12 +182,14 @@ fn main() {
     println!("Fig. 2 — Poisson, FGCRO-DR(30,10) vs FGMRES(30), grid {nx}×{nx}");
     run_setting(
         "Fig. 2a/2b — robust GAMG (threshold 0.0, GMRES(3) smoother)",
+        "fig2_robust",
         nx,
         0.0,
         3,
     );
     run_setting(
         "Fig. 2c/2d — cheaper GAMG (threshold 0.08, GMRES(1) smoother)",
+        "fig2_cheap",
         nx,
         0.08,
         1,

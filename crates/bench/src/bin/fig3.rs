@@ -12,7 +12,7 @@
 //! refresh path (Fig. 1 lines 3–7 and 31–38) — the generalized eigenproblem
 //! with strategy A, as the artifact's command lines do.
 
-use kryst_bench::{print_curve, rhs_row, rule, time};
+use kryst_bench::{print_curve, rhs_row, rule, time, traced_opts};
 use kryst_core::{gcrodr, gmres, lgmres, PrecondSide, RecycleStrategy, SolveOpts, SolverContext};
 use kryst_dense::DMat;
 use kryst_pde::elasticity::paper_sequence;
@@ -41,20 +41,31 @@ fn main() {
         same_system: false,
         ..Default::default()
     };
-    let amg_opts = AmgOpts { smoother: SmootherKind::Cg { iters: 4 }, ..Default::default() };
+    let amg_opts = AmgOpts {
+        smoother: SmootherKind::Cg { iters: 4 },
+        ..Default::default()
+    };
 
+    let fg_opts = traced_opts(&flex_opts, "fig3_fgmres");
     let mut fg_times = Vec::new();
     let mut fg_iters = 0;
     let mut fg_hist = Vec::new();
     println!("\nFGMRES(30):");
-    println!("{:>4} {:>8} {:>12} {:>10}", "sys", "iters", "seconds", "gain");
+    println!(
+        "{:>4} {:>8} {:>12} {:>10}",
+        "sys", "iters", "seconds", "gain"
+    );
     for (i, sys) in systems.iter().enumerate() {
         let (amg, setup) = time(|| {
-            Amg::new(&sys.problem.a, sys.problem.near_nullspace.as_ref(), &amg_opts)
+            Amg::new(
+                &sys.problem.a,
+                sys.problem.near_nullspace.as_ref(),
+                &amg_opts,
+            )
         });
         let b = DMat::from_col_major(n, 1, sys.rhs.clone());
         let mut x = DMat::zeros(n, 1);
-        let (res, secs) = time(|| gmres::solve(&sys.problem.a, &amg, &b, &mut x, &flex_opts));
+        let (res, secs) = time(|| gmres::solve(&sys.problem.a, &amg, &b, &mut x, &fg_opts));
         assert!(res.converged, "FGMRES failed on system {i}");
         rhs_row(i + 1, res.iterations, secs, None);
         println!("     (AMG setup {setup:.3}s)");
@@ -63,18 +74,26 @@ fn main() {
         fg_hist.extend(res.history);
     }
 
+    let gc_opts = traced_opts(&flex_opts, "fig3_fgcrodr");
     let mut ctx = SolverContext::new();
     let mut gc_times = Vec::new();
     let mut gc_iters = 0;
     let mut gc_hist = Vec::new();
     println!("\nFGCRO-DR(30,10), recycle strategy A:");
-    println!("{:>4} {:>8} {:>12} {:>10}", "sys", "iters", "seconds", "gain");
+    println!(
+        "{:>4} {:>8} {:>12} {:>10}",
+        "sys", "iters", "seconds", "gain"
+    );
     for (i, sys) in systems.iter().enumerate() {
-        let amg = Amg::new(&sys.problem.a, sys.problem.near_nullspace.as_ref(), &amg_opts);
+        let amg = Amg::new(
+            &sys.problem.a,
+            sys.problem.near_nullspace.as_ref(),
+            &amg_opts,
+        );
         let b = DMat::from_col_major(n, 1, sys.rhs.clone());
         let mut x = DMat::zeros(n, 1);
         let (res, secs) =
-            time(|| gcrodr::solve(&sys.problem.a, &amg, &b, &mut x, &flex_opts, &mut ctx));
+            time(|| gcrodr::solve(&sys.problem.a, &amg, &b, &mut x, &gc_opts, &mut ctx));
         assert!(res.converged, "FGCRO-DR failed on system {i}");
         rhs_row(i + 1, res.iterations, secs, Some(fg_times[i]));
         gc_times.push(secs);
@@ -83,9 +102,7 @@ fn main() {
     }
     let cum_fg: f64 = fg_times.iter().sum();
     let cum_gc: f64 = gc_times.iter().sum();
-    println!(
-        "\ntotal iterations: FGMRES {fg_iters}, FGCRO-DR {gc_iters} (paper: 235 vs 189)"
-    );
+    println!("\ntotal iterations: FGMRES {fg_iters}, FGCRO-DR {gc_iters} (paper: 235 vs 189)");
     println!(
         "cumulative gain {:+.1}% (paper: +36.0%)",
         (cum_fg / cum_gc - 1.0) * 100.0
@@ -115,32 +132,40 @@ fn main() {
     // the methods comparison (269 vs 173 iterations) is preserved.
     println!("(linear preconditioner: point Jacobi — restart-dominated regime)");
 
+    let lg_opts = traced_opts(&right_opts, "fig3_lgmres");
     let mut lg_times = Vec::new();
     let mut lg_iters = 0;
     println!("\nLGMRES(30,10):");
-    println!("{:>4} {:>8} {:>12} {:>10}", "sys", "iters", "seconds", "gain");
+    println!(
+        "{:>4} {:>8} {:>12} {:>10}",
+        "sys", "iters", "seconds", "gain"
+    );
     for (i, sys) in systems.iter().enumerate() {
         let jac = kryst_precond::Jacobi::new(&sys.problem.a, 1.0);
         let b = DMat::from_col_major(n, 1, sys.rhs.clone());
         let mut x = DMat::zeros(n, 1);
-        let (res, secs) = time(|| lgmres::solve(&sys.problem.a, &jac, &b, &mut x, &right_opts));
+        let (res, secs) = time(|| lgmres::solve(&sys.problem.a, &jac, &b, &mut x, &lg_opts));
         assert!(res.converged, "LGMRES failed on system {i}");
         rhs_row(i + 1, res.iterations, secs, None);
         lg_times.push(secs);
         lg_iters += res.iterations;
     }
 
+    let gr_opts = traced_opts(&right_opts, "fig3_gcrodr");
     let mut ctx2 = SolverContext::new();
     let mut gr_iters = 0;
     let mut gr_times = Vec::new();
     println!("\nGCRO-DR(30,10):");
-    println!("{:>4} {:>8} {:>12} {:>10}", "sys", "iters", "seconds", "gain");
+    println!(
+        "{:>4} {:>8} {:>12} {:>10}",
+        "sys", "iters", "seconds", "gain"
+    );
     for (i, sys) in systems.iter().enumerate() {
         let jac = kryst_precond::Jacobi::new(&sys.problem.a, 1.0);
         let b = DMat::from_col_major(n, 1, sys.rhs.clone());
         let mut x = DMat::zeros(n, 1);
         let (res, secs) =
-            time(|| gcrodr::solve(&sys.problem.a, &jac, &b, &mut x, &right_opts, &mut ctx2));
+            time(|| gcrodr::solve(&sys.problem.a, &jac, &b, &mut x, &gr_opts, &mut ctx2));
         assert!(res.converged, "GCRO-DR failed on system {i}");
         rhs_row(i + 1, res.iterations, secs, Some(lg_times[i]));
         gr_times.push(secs);
@@ -148,9 +173,7 @@ fn main() {
     }
     let cum_lg: f64 = lg_times.iter().sum();
     let cum_gr: f64 = gr_times.iter().sum();
-    println!(
-        "\ntotal iterations: LGMRES {lg_iters}, GCRO-DR {gr_iters} (paper: 269 vs 173)"
-    );
+    println!("\ntotal iterations: LGMRES {lg_iters}, GCRO-DR {gr_iters} (paper: 269 vs 173)");
     println!(
         "cumulative gain {:+.1}% (paper: +15.1%)",
         (cum_lg / cum_gr - 1.0) * 100.0

@@ -32,7 +32,11 @@ fn run(
     };
     let mut x = DMat::<C64>::zeros(a.nrows(), b.ncols());
     let (res, secs) = time(|| gmres::solve(a, pc, b, &mut x, &opts));
-    let status = if res.converged { "converged" } else { "NOT converged" };
+    let status = if res.converged {
+        "converged"
+    } else {
+        "NOT converged"
+    };
     println!(
         "\n{label}: {} iterations, final rel. residual {:.3e}, {secs:.2}s ({status})",
         res.iterations,
@@ -59,28 +63,46 @@ fn main() {
     let oras = Schwarz::new(
         &prob.a,
         &part,
-        &SchwarzOpts { variant: SchwarzVariant::Oras, overlap: 2, impedance: params.omega },
+        &SchwarzOpts {
+            variant: SchwarzVariant::Oras,
+            overlap: 2,
+            impedance: params.omega,
+        },
     );
     run("M⁻¹_ORAS (eq. 6)", &prob.a, &oras, &b, 400);
 
     let asm1 = Schwarz::new(
         &prob.a,
         &part,
-        &SchwarzOpts { variant: SchwarzVariant::Asm, overlap: 1, impedance: 0.0 },
+        &SchwarzOpts {
+            variant: SchwarzVariant::Asm,
+            overlap: 1,
+            impedance: 0.0,
+        },
     );
     run("ASM overlap 1", &prob.a, &asm1, &b, 400);
 
     let asm2 = Schwarz::new(
         &prob.a,
         &part,
-        &SchwarzOpts { variant: SchwarzVariant::Asm, overlap: 2, impedance: 0.0 },
+        &SchwarzOpts {
+            variant: SchwarzVariant::Asm,
+            overlap: 2,
+            impedance: 0.0,
+        },
     );
     run("ASM overlap 2", &prob.a, &asm2, &b, 400);
 
     let amg = Amg::new(
         &prob.a,
         None,
-        &AmgOpts { smoother: SmootherKind::Jacobi { omega: 0.6, iters: 2 }, ..Default::default() },
+        &AmgOpts {
+            smoother: SmootherKind::Jacobi {
+                omega: 0.6,
+                iters: 2,
+            },
+            ..Default::default()
+        },
     );
     run("GAMG", &prob.a, &amg, &b, 400);
 

@@ -11,10 +11,9 @@
 use kryst_bench::{rule, time};
 use kryst_dense::DMat;
 use kryst_pde::maxwell::{maxwell3d, MaxwellParams};
+use kryst_rt::rng::Rng64;
 use kryst_scalar::{Complex, Scalar};
 use kryst_sparse::SparseDirect;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let nc = std::env::args()
@@ -29,13 +28,16 @@ fn main() {
     println!("n = {n} complex unknowns, ≈{nnz_per_row:.0} nonzeros/row (paper: 300k, ≈83/row)");
 
     let (fac, tf) = time(|| SparseDirect::factor(&prob.a).expect("nonsingular"));
-    println!("factorization: {tf:.3}s, bandwidth {} after RCM", fac.bandwidth());
+    println!(
+        "factorization: {tf:.3}s, bandwidth {} after RCM",
+        fac.bandwidth()
+    );
     rule();
 
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng64::seed_from_u64(42);
     let max_p = 128usize;
     let rhs_full = DMat::from_fn(n, max_p, |_, _| {
-        Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        Complex::new(rng.gen_range(-1.0, 1.0), rng.gen_range(-1.0, 1.0))
     });
 
     let threads = [1usize, 2, 4, 8, 16];
@@ -64,8 +66,8 @@ fn main() {
     println!();
     for (pi, &pn) in threads.iter().enumerate() {
         print!("{pn:>4}");
-        for pj in 0..ps.len() {
-            print!("{:>10.4}", t[pi][pj]);
+        for tv in &t[pi] {
+            print!("{tv:>10.4}");
         }
         println!();
     }

@@ -15,7 +15,7 @@
 //!    extrapolated from the measured trend. This is the DESIGN.md
 //!    substitution for the 8,192-core machine.
 
-use kryst_bench::{maxwell_oras, rule, time};
+use kryst_bench::{maxwell_oras, rule, time, traced_opts};
 use kryst_core::{gmres, OrthScheme, PrecondSide, SolveOpts};
 use kryst_dense::DMat;
 use kryst_par::{CommStats, CostModel, DistOp, HaloPlan, Layout};
@@ -50,6 +50,7 @@ fn main() {
             orth: OrthScheme::Imgs,
             ..Default::default()
         };
+        let opts = traced_opts(&opts, &format!("fig7_gmres_n{nsub}"));
         let mut x = DMat::<C64>::zeros(setup.problem.a.nrows(), 1);
         let (res, tsolve) = time(|| gmres::solve(&setup.problem.a, &setup.oras, &b, &mut x, &opts));
         assert!(res.converged, "N = {nsub} did not converge");
@@ -84,6 +85,7 @@ fn main() {
         stats: Some(Arc::clone(&stats)),
         ..Default::default()
     };
+    let opts = traced_opts(&opts, "fig7_instrumented_n8");
     let mut x = DMat::<C64>::zeros(n, 1);
     let res = gmres::solve(&dist, &setup.oras, &b, &mut x, &opts);
     let snap = stats.snapshot();
@@ -98,7 +100,10 @@ fn main() {
     let n_paper = 119_000_000f64;
     // Iteration growth: fit iters(N) = a·N^e to the measured points.
     let (n0, i0) = (meas[0].0 as f64, meas[0].1 as f64);
-    let (n1, i1) = (*meas.last().map(|(a, _)| a).unwrap() as f64, meas.last().unwrap().1 as f64);
+    let (n1, i1) = (
+        *meas.last().map(|(a, _)| a).unwrap() as f64,
+        meas.last().unwrap().1 as f64,
+    );
     let expo = ((i1 / i0).ln() / (n1 / n0).ln()).clamp(0.0, 0.5);
     println!(
         "measured per-iteration reductions: {red_per_it:.1}; iteration growth exponent {expo:.3}"

@@ -15,7 +15,7 @@
 //! The paper's best time is 7) — recycling + moderate blocks — at 4.5×;
 //! the numerically best is 8) (fewest iterations).
 
-use kryst_bench::{maxwell_oras, rule, time};
+use kryst_bench::{maxwell_oras, rule, time, traced_opts};
 use kryst_core::pseudo::{self, PseudoMethod};
 use kryst_core::{gcrodr, gmres, OrthScheme, PrecondSide, SolveOpts, SolverContext};
 use kryst_dense::DMat;
@@ -82,15 +82,19 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
 
     // 1) 32× GMRES(50).
+    let o1 = traced_opts(&base, "fig8_alt1_gmres");
     let (r1_iters, t1) = time(|| {
         let mut total = 0usize;
         for l in 0..nrhs {
             let b = DMat::from_col_major(n, 1, rhs.col(l).to_vec());
             let mut x = DMat::<C64>::zeros(n, 1);
-            let res = gmres::solve(a, pc, &b, &mut x, &base);
+            let res = gmres::solve(a, pc, &b, &mut x, &o1);
             if !res.converged {
-        eprintln!("WARNING: GMRES RHS {l} did not reach rtol; worst rel res {:.2e}", res.final_relres.iter().cloned().fold(0.0f64, f64::max));
-    }
+                eprintln!(
+                    "WARNING: GMRES RHS {l} did not reach rtol; worst rel res {:.2e}",
+                    res.final_relres.iter().cloned().fold(0.0f64, f64::max)
+                );
+            }
             total += res.iterations;
         }
         total
@@ -105,16 +109,20 @@ fn main() {
     print_row(&rows[0], t1);
 
     // 2) 32× GCRO-DR(50,10).
+    let o2 = traced_opts(&base, "fig8_alt2_gcrodr");
     let (r2_iters, t2) = time(|| {
         let mut ctx = SolverContext::<C64>::new();
         let mut total = 0usize;
         for l in 0..nrhs {
             let b = DMat::from_col_major(n, 1, rhs.col(l).to_vec());
             let mut x = DMat::<C64>::zeros(n, 1);
-            let res = gcrodr::solve(a, pc, &b, &mut x, &base, &mut ctx);
+            let res = gcrodr::solve(a, pc, &b, &mut x, &o2, &mut ctx);
             if !res.converged {
-        eprintln!("WARNING: GCRO-DR RHS {l} did not reach rtol; worst rel res {:.2e}", res.final_relres.iter().cloned().fold(0.0f64, f64::max));
-    }
+                eprintln!(
+                    "WARNING: GCRO-DR RHS {l} did not reach rtol; worst rel res {:.2e}",
+                    res.final_relres.iter().cloned().fold(0.0f64, f64::max)
+                );
+            }
             total += res.iterations;
         }
         total
@@ -129,11 +137,17 @@ fn main() {
     print_row(&rows[1], t1);
 
     // 3) pseudo-BGMRES(50), 32 RHSs.
+    let o3 = traced_opts(&base, "fig8_alt3_pseudo_bgmres");
     let mut x3 = DMat::<C64>::zeros(n, nrhs);
-    let (res3, t3) =
-        time(|| pseudo::solve(a, pc, &rhs, &mut x3, &base, PseudoMethod::Gmres, None));
+    let (res3, t3) = time(|| pseudo::solve(a, pc, &rhs, &mut x3, &o3, PseudoMethod::Gmres, None));
     if !res3.converged {
-        eprintln!("WARNING: pseudo-BGMRES did not reach rtol; worst rel res {:.2e}", res3.per_rhs.iter().flat_map(|r| r.final_relres.iter().cloned()).fold(0.0f64, f64::max));
+        eprintln!(
+            "WARNING: pseudo-BGMRES did not reach rtol; worst rel res {:.2e}",
+            res3.per_rhs
+                .iter()
+                .flat_map(|r| r.final_relres.iter().cloned())
+                .fold(0.0f64, f64::max)
+        );
     }
     let it3 = res3.iterations;
     rows.push(Row {
@@ -146,10 +160,14 @@ fn main() {
     print_row(&rows[2], t1);
 
     // 4) BGMRES(50), 32 RHSs.
+    let o4 = traced_opts(&base, "fig8_alt4_bgmres");
     let mut x4 = DMat::<C64>::zeros(n, nrhs);
-    let (res4, t4) = time(|| gmres::solve(a, pc, &rhs, &mut x4, &base));
+    let (res4, t4) = time(|| gmres::solve(a, pc, &rhs, &mut x4, &o4));
     if !res4.converged {
-        eprintln!("WARNING: BGMRES did not reach rtol; worst rel res {:.2e}", res4.final_relres.iter().cloned().fold(0.0f64, f64::max));
+        eprintln!(
+            "WARNING: BGMRES did not reach rtol; worst rel res {:.2e}",
+            res4.final_relres.iter().cloned().fold(0.0f64, f64::max)
+        );
     }
     rows.push(Row {
         label: "4) 1 solve, BGMRES(50), 32 RHSs",
@@ -161,18 +179,29 @@ fn main() {
     print_row(&rows[3], t1);
 
     // 5) 4× pseudo-BGCRO-DR(50,10) with 8 RHSs.
+    let o5 = traced_opts(&base, "fig8_alt5_pseudo_bgcrodr_x4");
     let (it5, t5) = time(|| {
         let mut ctxs: Vec<SolverContext<C64>> = Vec::new();
         let mut total = 0usize;
         for blk in 0..4 {
             let b = rhs.cols(blk * 8, 8);
             let mut x = DMat::<C64>::zeros(n, 8);
-            let res =
-                pseudo::solve(a, pc, &b, &mut x, &base, PseudoMethod::GcroDr, Some(&mut ctxs));
+            let res = pseudo::solve(
+                a,
+                pc,
+                &b,
+                &mut x,
+                &o5,
+                PseudoMethod::GcroDr,
+                Some(&mut ctxs),
+            );
             if !res.converged {
                 eprintln!(
                     "WARNING: pseudo-BGCRO-DR block {blk} did not reach rtol; worst rel res {:.2e}",
-                    res.per_rhs.iter().flat_map(|r| r.final_relres.iter().cloned()).fold(0.0f64, f64::max)
+                    res.per_rhs
+                        .iter()
+                        .flat_map(|r| r.final_relres.iter().cloned())
+                        .fold(0.0f64, f64::max)
                 );
             }
             total += res.iterations;
@@ -189,11 +218,17 @@ fn main() {
     print_row(&rows[4], t1);
 
     // 6) pseudo-BGCRO-DR(50,10), 32 RHSs.
+    let o6 = traced_opts(&base, "fig8_alt6_pseudo_bgcrodr");
     let mut x6 = DMat::<C64>::zeros(n, nrhs);
-    let (res6, t6) =
-        time(|| pseudo::solve(a, pc, &rhs, &mut x6, &base, PseudoMethod::GcroDr, None));
+    let (res6, t6) = time(|| pseudo::solve(a, pc, &rhs, &mut x6, &o6, PseudoMethod::GcroDr, None));
     if !res6.converged {
-        eprintln!("WARNING: pseudo-BGCRO-DR 32 did not reach rtol; worst rel res {:.2e}", res6.per_rhs.iter().flat_map(|r| r.final_relres.iter().cloned()).fold(0.0f64, f64::max));
+        eprintln!(
+            "WARNING: pseudo-BGCRO-DR 32 did not reach rtol; worst rel res {:.2e}",
+            res6.per_rhs
+                .iter()
+                .flat_map(|r| r.final_relres.iter().cloned())
+                .fold(0.0f64, f64::max)
+        );
     }
     rows.push(Row {
         label: "6) 1 solve, pseudo-BGCRO-DR(50,10), 32 RHSs",
@@ -205,16 +240,20 @@ fn main() {
     print_row(&rows[5], t1);
 
     // 7) 4× BGCRO-DR(50,10) with 8 RHSs.
+    let o7 = traced_opts(&base, "fig8_alt7_bgcrodr_x4");
     let (it7, t7) = time(|| {
         let mut ctx = SolverContext::<C64>::new();
         let mut total = 0usize;
         for blk in 0..4 {
             let b = rhs.cols(blk * 8, 8);
             let mut x = DMat::<C64>::zeros(n, 8);
-            let res = gcrodr::solve(a, pc, &b, &mut x, &base, &mut ctx);
+            let res = gcrodr::solve(a, pc, &b, &mut x, &o7, &mut ctx);
             if !res.converged {
-        eprintln!("WARNING: BGCRO-DR block {blk} did not reach rtol; worst rel res {:.2e}", res.final_relres.iter().cloned().fold(0.0f64, f64::max));
-    }
+                eprintln!(
+                    "WARNING: BGCRO-DR block {blk} did not reach rtol; worst rel res {:.2e}",
+                    res.final_relres.iter().cloned().fold(0.0f64, f64::max)
+                );
+            }
             total += res.iterations;
         }
         total
@@ -229,11 +268,15 @@ fn main() {
     print_row(&rows[6], t1);
 
     // 8) BGCRO-DR(50,10), 32 RHSs.
+    let o8 = traced_opts(&base, "fig8_alt8_bgcrodr");
     let mut ctx8 = SolverContext::<C64>::new();
     let mut x8 = DMat::<C64>::zeros(n, nrhs);
-    let (res8, t8) = time(|| gcrodr::solve(a, pc, &rhs, &mut x8, &base, &mut ctx8));
+    let (res8, t8) = time(|| gcrodr::solve(a, pc, &rhs, &mut x8, &o8, &mut ctx8));
     if !res8.converged {
-        eprintln!("WARNING: BGCRO-DR 32 did not reach rtol; worst rel res {:.2e}", res8.final_relres.iter().cloned().fold(0.0f64, f64::max));
+        eprintln!(
+            "WARNING: BGCRO-DR 32 did not reach rtol; worst rel res {:.2e}",
+            res8.final_relres.iter().cloned().fold(0.0f64, f64::max)
+        );
     }
     rows.push(Row {
         label: "8) 1 solve, BGCRO-DR(50,10), 32 RHSs",

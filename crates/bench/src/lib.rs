@@ -6,13 +6,44 @@
 //! time solver phases, and print the same row/series structure the paper
 //! reports.
 
-use kryst_core::SolveResult;
+pub mod harness;
+
+use kryst_core::{SolveOpts, SolveResult};
+use kryst_obs::{JsonlRecorder, Recorder};
+use kryst_par::CommStats;
 use kryst_pde::maxwell::{maxwell3d, MaxwellGeom, MaxwellParams};
 use kryst_pde::Problem;
 use kryst_precond::{Schwarz, SchwarzOpts, SchwarzVariant};
 use kryst_scalar::C64;
 use kryst_sparse::partition::{partition_rcb, Partition};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Attach a JSONL trace sink (plus comm counters) when `KRYST_TRACE_DIR`
+/// is set; otherwise pass the options through untouched.
+///
+/// Each figure binary calls this once per solver series, so every solve in
+/// the series appends its full event stream (begin / iteration / span /
+/// precond-apply / end) to `$KRYST_TRACE_DIR/<label>.jsonl`. Solves are
+/// delimited in the file by their `solve_begin` / `solve_end` markers.
+/// An already-attached `CommStats` is kept so instrumented runs keep
+/// reading their own counters.
+pub fn traced_opts(opts: &SolveOpts, label: &str) -> SolveOpts {
+    let Some(dir) = std::env::var_os("KRYST_TRACE_DIR") else {
+        return opts.clone();
+    };
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+    let path = dir.join(format!("{label}.jsonl"));
+    let rec = JsonlRecorder::create(&path)
+        .unwrap_or_else(|e| panic!("open trace file {}: {e}", path.display()));
+    eprintln!("  [trace] {}", path.display());
+    SolveOpts {
+        recorder: Some(Arc::new(rec) as Arc<dyn Recorder>),
+        stats: opts.stats.clone().or_else(|| Some(CommStats::new_shared())),
+        ..opts.clone()
+    }
+}
 
 /// Wall-clock a closure.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -105,7 +136,14 @@ pub fn maxwell_oras(params: MaxwellParams, nsub: usize, overlap: usize) -> Maxwe
             },
         )
     });
-    MaxwellSetup { problem, geom, params, partition, setup_seconds, oras }
+    MaxwellSetup {
+        problem,
+        geom,
+        params,
+        partition,
+        setup_seconds,
+        oras,
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 
 use crate::cycle::{any_above, rhs_norms};
 use crate::opts::{SolveOpts, SolveResult};
+use crate::trace::SolveTracer;
 use kryst_dense::{blas, lu::Lu, DMat};
 use kryst_par::{LinOp, PrecondOp};
 use kryst_scalar::{Real, Scalar};
@@ -33,7 +34,7 @@ pub fn solve<S: Scalar>(
     let mut d = z.clone();
     // S_rz = Rᴴ·Z (p × p).
     let mut s_rz = blas::adjoint_times(&r, &z);
-    let mut history: Vec<Vec<f64>> = Vec::new();
+    let mut tracer = SolveTracer::begin(opts, "bcg", 0, a.nrows(), p);
     let mut iters = 0usize;
 
     loop {
@@ -52,8 +53,24 @@ pub fn solve<S: Scalar>(
             Some(v) => v,
             None => break, // block breakdown: D lost rank; residuals are tiny
         };
-        blas::gemm(S::one(), &d, blas::Op::None, &alpha, blas::Op::None, S::one(), x);
-        blas::gemm(-S::one(), &ad, blas::Op::None, &alpha, blas::Op::None, S::one(), &mut r);
+        blas::gemm(
+            S::one(),
+            &d,
+            blas::Op::None,
+            &alpha,
+            blas::Op::None,
+            S::one(),
+            x,
+        );
+        blas::gemm(
+            -S::one(),
+            &ad,
+            blas::Op::None,
+            &alpha,
+            blas::Op::None,
+            S::one(),
+            &mut r,
+        );
         z = pc.apply_new(&r);
         let s_new = blas::adjoint_times(&r, &z);
         // β solves (old RᴴZ)·β = new RᴴZ.
@@ -63,11 +80,25 @@ pub fn solve<S: Scalar>(
         };
         // D ⟵ Z + D·β.
         let mut d_next = z.clone();
-        blas::gemm(S::one(), &d, blas::Op::None, &beta, blas::Op::None, S::one(), &mut d_next);
+        blas::gemm(
+            S::one(),
+            &d,
+            blas::Op::None,
+            &beta,
+            blas::Op::None,
+            S::one(),
+            &mut d_next,
+        );
         d = d_next;
         s_rz = s_new;
         iters += 1;
-        history.push(r.col_norms().iter().zip(&bnorms).map(|(v, b)| v.to_f64() / b).collect());
+        let row: Vec<f64> = r
+            .col_norms()
+            .iter()
+            .zip(&bnorms)
+            .map(|(v, b)| v.to_f64() / b)
+            .collect();
+        tracer.iteration(0, iters - 1, row, "none", None);
     }
 
     let final_relres: Vec<f64> = r
@@ -77,7 +108,13 @@ pub fn solve<S: Scalar>(
         .map(|(v, b)| v.to_f64() / b)
         .collect();
     let converged = final_relres.iter().all(|&v| v <= opts.rtol * 10.0);
-    SolveResult { iterations: iters, converged, history, final_relres }
+    let history = tracer.finish(converged, &final_relres);
+    SolveResult {
+        iterations: iters,
+        converged,
+        history,
+        final_relres,
+    }
 }
 
 /// Solve the small `p × p` system `M·X = B`; `None` when (numerically)
@@ -111,7 +148,11 @@ mod tests {
         let p = 3;
         let b = DMat::from_fn(n, p, |i, j| (((i + 3 * j) % 9) as f64) - 4.0);
         let mut x = DMat::zeros(n, p);
-        let opts = SolveOpts { rtol: 1e-10, max_iters: 500, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-10,
+            max_iters: 500,
+            ..Default::default()
+        };
         let res = solve(&prob.a, &id, &b, &mut x, &opts);
         assert!(res.converged, "{:?}", res.final_relres);
         let f = SparseDirect::factor(&prob.a).unwrap();
@@ -130,7 +171,11 @@ mod tests {
         let id = IdentityPrecond::new(n);
         let p = 4;
         let b = DMat::from_fn(n, p, |i, j| (((i * (j + 2)) % 13) as f64) - 6.0);
-        let opts = SolveOpts { rtol: 1e-8, max_iters: 1000, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            max_iters: 1000,
+            ..Default::default()
+        };
         let mut xb = DMat::zeros(n, p);
         let block = solve(&prob.a, &id, &b, &mut xb, &opts);
         assert!(block.converged);
@@ -157,7 +202,10 @@ mod tests {
         let jac = Jacobi::new(&prob.a, 1.0);
         let b = DMat::from_fn(n, 2, |i, j| ((i + j) % 5) as f64 - 2.0);
         let mut x = DMat::zeros(n, 2);
-        let opts = SolveOpts { rtol: 1e-9, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-9,
+            ..Default::default()
+        };
         let res = solve(&prob.a, &jac, &b, &mut x, &opts);
         assert!(res.converged);
         let mut r = prob.a.apply(&x);
@@ -181,7 +229,11 @@ mod tests {
             b[(i, 1)] = 2.0 * v;
         }
         let mut x = DMat::zeros(n, 2);
-        let opts = SolveOpts { rtol: 1e-8, max_iters: 400, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            max_iters: 400,
+            ..Default::default()
+        };
         let res = solve(&prob.a, &id, &b, &mut x, &opts);
         assert!(!res.converged);
         for v in &res.final_relres {

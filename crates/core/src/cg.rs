@@ -8,6 +8,7 @@
 
 use crate::cycle::rhs_norms;
 use crate::opts::{SolveOpts, SolveResult};
+use crate::trace::SolveTracer;
 use kryst_dense::DMat;
 use kryst_par::{LinOp, PrecondOp};
 use kryst_scalar::{Real, Scalar};
@@ -33,7 +34,7 @@ pub fn solve<S: Scalar>(
     let mut active: Vec<bool> = (0..p)
         .map(|l| r.col_norm(l).to_f64() > opts.rtol * bnorms[l])
         .collect();
-    let mut history: Vec<Vec<f64>> = Vec::new();
+    let mut tracer = SolveTracer::begin(opts, "cg", 0, n, p);
     let mut iters = 0usize;
 
     while active.iter().any(|&a| a) && iters < opts.max_iters {
@@ -78,12 +79,18 @@ pub fn solve<S: Scalar>(
                 active[l] = false;
             }
         }
-        history.push(row);
+        tracer.iteration(0, iters - 1, row, "none", None);
     }
 
     let final_relres: Vec<f64> = (0..p).map(|l| r.col_norm(l).to_f64() / bnorms[l]).collect();
     let converged = final_relres.iter().all(|&v| v <= opts.rtol * 10.0);
-    SolveResult { iterations: iters, converged, history, final_relres }
+    let history = tracer.finish(converged, &final_relres);
+    SolveResult {
+        iterations: iters,
+        converged,
+        history,
+        final_relres,
+    }
 }
 
 #[cfg(test)]
@@ -100,7 +107,11 @@ mod tests {
         let b = DMat::from_fn(n, 2, |i, j| (((i + j) % 5) as f64) - 2.0);
         let id = IdentityPrecond::new(n);
         let mut x = DMat::zeros(n, 2);
-        let opts = SolveOpts { rtol: 1e-10, max_iters: 500, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-10,
+            max_iters: 500,
+            ..Default::default()
+        };
         let res = solve(&prob.a, &id, &b, &mut x, &opts);
         assert!(res.converged, "{:?}", res.final_relres);
         let mut r = prob.a.apply(&x);
@@ -118,14 +129,19 @@ mod tests {
             let s = 1.0 + (i % 17) as f64 * 10.0;
             c.push(i, i, 2.0 * s);
             if i > 0 {
-                let sm = 0.9 * (1.0 + ((i - 1) % 17) as f64 * 10.0).min(1.0 + (i % 17) as f64 * 10.0);
+                let sm =
+                    0.9 * (1.0 + ((i - 1) % 17) as f64 * 10.0).min(1.0 + (i % 17) as f64 * 10.0);
                 c.push(i, i - 1, -sm);
                 c.push(i - 1, i, -sm);
             }
         }
         let a = c.to_csr();
         let b = DMat::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
-        let opts = SolveOpts { rtol: 1e-8, max_iters: 2000, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            max_iters: 2000,
+            ..Default::default()
+        };
         let id = IdentityPrecond::new(n);
         let jac = Jacobi::new(&a, 1.0);
         let mut x1 = DMat::zeros(n, 1);
@@ -133,7 +149,12 @@ mod tests {
         let mut x2 = DMat::zeros(n, 1);
         let pre = solve(&a, &jac, &b, &mut x2, &opts);
         assert!(plain.converged && pre.converged);
-        assert!(pre.iterations < plain.iterations, "{} !< {}", pre.iterations, plain.iterations);
+        assert!(
+            pre.iterations < plain.iterations,
+            "{} !< {}",
+            pre.iterations,
+            plain.iterations
+        );
     }
 
     #[test]

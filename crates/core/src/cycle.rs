@@ -89,6 +89,9 @@ pub struct BlockArnoldi<'a, S: Scalar> {
     stats: Option<&'a CommStats>,
     /// Numerical rank of the initial residual block (breakdown detection).
     pub initial_rank: usize,
+    /// Numerical rank of the block produced by the most recent [`Self::step`]
+    /// (equals the block width while no breakdown occurs).
+    pub last_step_rank: usize,
 }
 
 impl<'a, S: Scalar> BlockArnoldi<'a, S> {
@@ -119,6 +122,7 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
             orth,
             stats,
             initial_rank: p,
+            last_step_rank: p,
         }
     }
 
@@ -163,13 +167,22 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         if let Some(c) = self.c_proj {
             let ecol = blas::adjoint_times(c, &w);
             if let Some(st) = self.stats {
-                st.record_reduction(ecol.as_slice().len() * std::mem::size_of::<S>());
+                st.record_reduction(std::mem::size_of_val(ecol.as_slice()));
             }
-            blas::gemm(-S::one(), c, blas::Op::None, &ecol, blas::Op::None, S::one(), &mut w);
+            blas::gemm(
+                -S::one(),
+                c,
+                blas::Op::None,
+                &ecol,
+                blas::Op::None,
+                S::one(),
+                &mut w,
+            );
             self.e.set_block(0, j * p, &ecol);
         }
         // Orthogonalize against the basis built so far.
         let out = orthogonalize_block(&self.v, (j + 1) * p, &mut w, self.orth);
+        self.last_step_rank = out.rank;
         if let Some(st) = self.stats {
             st.record_reductions(out.reductions, (j + 2) * p * p * std::mem::size_of::<S>());
         }
@@ -181,7 +194,11 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         self.qr.push_block(&hcol);
         self.v.set_block(0, (j + 1) * p, &w);
         self.j += 1;
-        self.qr.residual_norms().iter().map(|r| r.to_f64()).collect()
+        self.qr
+            .residual_norms()
+            .iter()
+            .map(|r| r.to_f64())
+            .collect()
     }
 
     /// Least-squares coefficients for the completed iterations.
@@ -194,7 +211,15 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
     pub fn update_solution(&self, y: &DMat<S>, x: &mut DMat<S>) {
         let cols = self.j * self.p;
         let zm = self.z.cols(0, cols);
-        blas::gemm(S::one(), &zm, blas::Op::None, y, blas::Op::None, S::one(), x);
+        blas::gemm(
+            S::one(),
+            &zm,
+            blas::Op::None,
+            y,
+            blas::Op::None,
+            S::one(),
+            x,
+        );
     }
 
     /// The leading `(j+1)·p` columns of the basis `V`.
@@ -210,7 +235,8 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
     /// Raw Hessenberg restricted to the completed iterations
     /// ((j+1)·p × j·p).
     pub fn hraw_active(&self) -> DMat<S> {
-        self.hraw.block(0, 0, (self.j + 1) * self.p, self.j * self.p)
+        self.hraw
+            .block(0, 0, (self.j + 1) * self.p, self.j * self.p)
     }
 
     /// Captured `E` coefficients ((kc) × j·p).
@@ -221,6 +247,19 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
     /// Block width.
     pub fn p(&self) -> usize {
         self.p
+    }
+
+    /// Deficient rank to report on an iteration event: the initial block's
+    /// rank on the first step of a cycle, the latest step's rank otherwise;
+    /// `None` while the process keeps full block rank.
+    pub fn breakdown_rank(&self, first_of_cycle: bool) -> Option<usize> {
+        if first_of_cycle && self.initial_rank < self.p {
+            Some(self.initial_rank)
+        } else if self.last_step_rank < self.p {
+            Some(self.last_step_rank)
+        } else {
+            None
+        }
     }
 }
 
@@ -278,10 +317,19 @@ mod tests {
             arn.step();
         }
         let az = a.apply(&arn.z_active());
-        let vh = blas::matmul(&arn.v_active(), blas::Op::None, &arn.hraw_active(), blas::Op::None);
+        let vh = blas::matmul(
+            &arn.v_active(),
+            blas::Op::None,
+            &arn.hraw_active(),
+            blas::Op::None,
+        );
         let mut diff = az.clone();
         diff.axpy(-1.0, &vh);
-        assert!(diff.max_abs() < 1e-10, "Arnoldi relation violated: {}", diff.max_abs());
+        assert!(
+            diff.max_abs() < 1e-10,
+            "Arnoldi relation violated: {}",
+            diff.max_abs()
+        );
         // Basis orthonormality.
         let g = blas::adjoint_times(&arn.v_active(), &arn.v_active());
         for i in 0..g.nrows() {
@@ -305,7 +353,15 @@ mod tests {
         let mut r0 = DMat::from_fn(n, 1, |i, _| (i as f64 * 0.17).sin());
         // Project r0 off C first, like GCRO-DR line 9.
         let coef = blas::adjoint_times(&c, &r0);
-        blas::gemm(-1.0, &c, blas::Op::None, &coef, blas::Op::None, 1.0, &mut r0);
+        blas::gemm(
+            -1.0,
+            &c,
+            blas::Op::None,
+            &coef,
+            blas::Op::None,
+            1.0,
+            &mut r0,
+        );
         arn.start(&r0);
         for _ in 0..5 {
             arn.step();
@@ -315,11 +371,20 @@ mod tests {
         // Verify the captured E: A·Z = C·E + V·H̄.
         let az = a.apply(&arn.z_active());
         let mut rhs = blas::matmul(&c, blas::Op::None, &arn.e_active(), blas::Op::None);
-        let vh = blas::matmul(&arn.v_active(), blas::Op::None, &arn.hraw_active(), blas::Op::None);
+        let vh = blas::matmul(
+            &arn.v_active(),
+            blas::Op::None,
+            &arn.hraw_active(),
+            blas::Op::None,
+        );
         rhs.axpy(1.0, &vh);
         let mut diff = az;
         diff.axpy(-1.0, &rhs);
-        assert!(diff.max_abs() < 1e-10, "A·Z ≠ C·E + V·H̄: {}", diff.max_abs());
+        assert!(
+            diff.max_abs() < 1e-10,
+            "A·Z ≠ C·E + V·H̄: {}",
+            diff.max_abs()
+        );
     }
 
     #[test]

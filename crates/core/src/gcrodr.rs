@@ -23,9 +23,11 @@
 
 use crate::cycle::{any_above, rhs_norms, BlockArnoldi, PrecondMode};
 use crate::opts::{RecycleStrategy, SolveOpts, SolveResult};
+use crate::trace::SolveTracer;
 use kryst_dense::eig::{self, EigDecomp};
 use kryst_dense::qr::HouseholderQr;
 use kryst_dense::{blas, chol, tri, DMat};
+use kryst_obs::SpanKind;
 use kryst_par::{LinOp, PrecondOp};
 use kryst_scalar::{Real, Scalar};
 
@@ -50,7 +52,10 @@ pub struct SolverContext<S: Scalar> {
 impl<S: Scalar> SolverContext<S> {
     /// Fresh, empty context.
     pub fn new() -> Self {
-        Self { recycle: None, solves: 0 }
+        Self {
+            recycle: None,
+            solves: 0,
+        }
     }
 
     /// Drop any recycled information.
@@ -81,7 +86,9 @@ pub fn solve<S: Scalar>(
     let mode = PrecondMode::new(pc, opts.side);
     let bnorms = rhs_norms(b);
     let stats = opts.stats.as_deref();
-    let mut history: Vec<Vec<f64>> = Vec::new();
+    let mut tracer = SolveTracer::begin(opts, "gcrodr", ctx.solves, n, p);
+    let orth_name = opts.orth.name();
+    let mut cycle = 0usize;
     let mut iters = 0usize;
 
     // The paper's Fig. 1 guards the refresh work with `A_i ≠ A_{i−1}`: for
@@ -95,12 +102,19 @@ pub fn solve<S: Scalar>(
         let r0: Vec<f64> = r.col_norms().iter().map(|v| v.to_f64()).collect();
         if !any_above(&r0, &bnorms, opts.rtol) {
             ctx.solves += 1;
-            let final_relres = r0.iter().zip(&bnorms).map(|(r, b)| r / b).collect();
-            return SolveResult { iterations: 0, converged: true, history, final_relres };
+            let final_relres: Vec<f64> = r0.iter().zip(&bnorms).map(|(r, b)| r / b).collect();
+            let history = tracer.finish(true, &final_relres);
+            return SolveResult {
+                iterations: 0,
+                converged: true,
+                history,
+                final_relres,
+            };
         }
     }
 
     // ---- Lines 2–9: reuse a previous recycle space. --------------------
+    let setup_probe = tracer.span_start();
     let mut space: Option<RecycleSpace<S>> = None;
     if let Some(mut rec) = ctx.recycle.take() {
         if rec.u.nrows() == n && rec.u.ncols() >= 1 {
@@ -109,7 +123,7 @@ pub fn solve<S: Scalar>(
                 let mut w = mode.apply_op(a, &rec.u);
                 let out = chol::cholqr(&mut w);
                 if let Some(st) = stats {
-                    st.record_reduction(out.r.as_slice().len() * std::mem::size_of::<S>());
+                    st.record_reduction(std::mem::size_of_val(out.r.as_slice()));
                 }
                 safe_right_solve(&mut rec.u, &out.r);
                 rec.c = w;
@@ -117,32 +131,55 @@ pub fn solve<S: Scalar>(
             // Lines 8–9: X ⟵ X + U·CᴴR; R ⟵ R − C·CᴴR.
             let coef = blas::adjoint_times(&rec.c, &r);
             if let Some(st) = stats {
-                st.record_reduction(coef.as_slice().len() * std::mem::size_of::<S>());
+                st.record_reduction(std::mem::size_of_val(coef.as_slice()));
             }
-            blas::gemm(S::one(), &rec.u, blas::Op::None, &coef, blas::Op::None, S::one(), x);
-            blas::gemm(-S::one(), &rec.c, blas::Op::None, &coef, blas::Op::None, S::one(), &mut r);
+            blas::gemm(
+                S::one(),
+                &rec.u,
+                blas::Op::None,
+                &coef,
+                blas::Op::None,
+                S::one(),
+                x,
+            );
+            blas::gemm(
+                -S::one(),
+                &rec.c,
+                blas::Op::None,
+                &coef,
+                blas::Op::None,
+                S::one(),
+                &mut r,
+            );
             space = Some(rec);
         }
     }
+    tracer.span_end(setup_probe, SpanKind::Setup, 0);
 
     // ---- Lines 10–21: first cycle is plain (block) GMRES. ---------------
     if space.is_none() {
+        let cyc_probe = tracer.span_start();
         let mut arn = BlockArnoldi::new(a, &mode, m, p, opts.orth, None, stats);
         arn.start(&r);
         let mut done = false;
+        let mut first = true;
         while arn.can_step() && iters < opts.max_iters {
             let res = arn.step();
             iters += 1;
-            history.push(res.iter().zip(&bnorms).map(|(rr, bb)| rr / bb).collect());
+            let rel: Vec<f64> = res.iter().zip(&bnorms).map(|(rr, bb)| rr / bb).collect();
+            tracer.iteration(cycle, iters - 1, rel, orth_name, arn.breakdown_rank(first));
+            first = false;
             if !any_above(&res, &bnorms, opts.rtol) {
                 done = true;
                 break;
             }
         }
+        tracer.span_end(cyc_probe, SpanKind::Cycle, cycle);
         let y = arn.solve_y();
         arn.update_solution(&y, x);
         r = mode.residual(a, b, x);
         // Lines 16–20: harmonic Ritz via eq. (2), then C/U extraction.
+        let eig_probe = tracer.span_start();
         let j = arn.iterations();
         if j >= 1 {
             let kc = kc_target.min(j * p.max(1)).max(1);
@@ -182,6 +219,8 @@ pub fn solve<S: Scalar>(
                 space = Some(RecycleSpace { u, c });
             }
         }
+        tracer.span_end(eig_probe, SpanKind::Eigensolve, cycle);
+        cycle += 1;
         let _ = done;
         if !any_above(
             &r.col_norms().iter().map(|v| v.to_f64()).collect::<Vec<_>>(),
@@ -197,7 +236,13 @@ pub fn solve<S: Scalar>(
                 .map(|(rr, bb)| rr.to_f64() / bb)
                 .collect();
             let converged = final_relres.iter().all(|&v| v <= opts.rtol * 10.0);
-            return SolveResult { iterations: iters, converged, history, final_relres };
+            let history = tracer.finish(converged, &final_relres);
+            return SolveResult {
+                iterations: iters,
+                converged,
+                history,
+                final_relres,
+            };
         }
     }
 
@@ -208,30 +253,52 @@ pub fn solve<S: Scalar>(
         let kc = rec.u.ncols();
         let k_blocks = kc.div_ceil(p);
         let m_inner = (m - k_blocks.min(m - 1)).max(1);
-        let mut arn =
-            BlockArnoldi::new(a, &mode, m_inner, p, opts.orth, Some(&rec.c), stats);
+        let cyc_probe = tracer.span_start();
+        let mut arn = BlockArnoldi::new(a, &mode, m_inner, p, opts.orth, Some(&rec.c), stats);
         arn.start(&r);
         let mut done = false;
+        let mut first = true;
         while arn.can_step() && iters < opts.max_iters {
             let res = arn.step();
             iters += 1;
-            history.push(res.iter().zip(&bnorms).map(|(rr, bb)| rr / bb).collect());
+            let rel: Vec<f64> = res.iter().zip(&bnorms).map(|(rr, bb)| rr / bb).collect();
+            tracer.iteration(cycle, iters - 1, rel, orth_name, arn.breakdown_rank(first));
+            first = false;
             if !any_above(&res, &bnorms, opts.rtol) {
                 done = true;
                 break;
             }
         }
+        tracer.span_end(cyc_probe, SpanKind::Cycle, cycle);
         // Lines 27–29: solution update with both U and Z contributions.
+        let restart_probe = tracer.span_start();
         let y = arn.solve_y();
         let cr = blas::adjoint_times(&rec.c, &r);
         if let Some(st) = stats {
-            st.record_reduction(cr.as_slice().len() * std::mem::size_of::<S>());
+            st.record_reduction(std::mem::size_of_val(cr.as_slice()));
         }
         let mut yk = cr;
-        blas::gemm(-S::one(), &arn.e_active(), blas::Op::None, &y, blas::Op::None, S::one(), &mut yk);
-        blas::gemm(S::one(), &rec.u, blas::Op::None, &yk, blas::Op::None, S::one(), x);
+        blas::gemm(
+            -S::one(),
+            &arn.e_active(),
+            blas::Op::None,
+            &y,
+            blas::Op::None,
+            S::one(),
+            &mut yk,
+        );
+        blas::gemm(
+            S::one(),
+            &rec.u,
+            blas::Op::None,
+            &yk,
+            blas::Op::None,
+            S::one(),
+            x,
+        );
         arn.update_solution(&y, x);
         r = mode.residual(a, b, x);
+        tracer.span_end(restart_probe, SpanKind::Restart, cycle);
         let rn: Vec<f64> = r.col_norms().iter().map(|v| v.to_f64()).collect();
         // Convergence is decided on the TRUE residual; the in-cycle estimate
         // (`done`) only ends the cycle early.
@@ -252,10 +319,15 @@ pub fn solve<S: Scalar>(
                 p,
             };
             drop(arn);
-            space = Some(refresh_recycle_space(rec, parts, kc, opts, stats));
+            let refresh_probe = tracer.span_start();
+            space = Some(refresh_recycle_space(
+                rec, parts, kc, opts, stats, &tracer, cycle,
+            ));
+            tracer.span_end(refresh_probe, SpanKind::RecycleRefresh, cycle);
         } else {
             space = Some(rec);
         }
+        cycle += 1;
         if converged {
             break;
         }
@@ -271,7 +343,13 @@ pub fn solve<S: Scalar>(
         .map(|(rr, bb)| rr.to_f64() / bb)
         .collect();
     let converged = converged && final_relres.iter().all(|&v| v <= opts.rtol * 10.0);
-    SolveResult { iterations: iters, converged, history, final_relres }
+    let history = tracer.finish(converged, &final_relres);
+    SolveResult {
+        iterations: iters,
+        converged,
+        history,
+        final_relres,
+    }
 }
 
 /// The cycle data the recycle-space refresh consumes (extracted from the
@@ -292,6 +370,8 @@ fn refresh_recycle_space<S: Scalar>(
     kc: usize,
     opts: &SolveOpts,
     stats: Option<&kryst_par::CommStats>,
+    tracer: &SolveTracer,
+    cycle: usize,
 ) -> RecycleSpace<S> {
     let p = parts.p;
     let j = parts.j;
@@ -300,7 +380,11 @@ fn refresh_recycle_space<S: Scalar>(
     let mut d = DMat::<S>::zeros(kc, kc);
     for i in 0..kc {
         let nrm = rec.u.col_norm(i);
-        let inv = if nrm.to_f64() > 0.0 { S::one() / S::from_real(nrm) } else { S::one() };
+        let inv = if nrm.to_f64() > 0.0 {
+            S::one() / S::from_real(nrm)
+        } else {
+            S::one()
+        };
         rec.u.scale_col(i, inv);
         d[(i, i)] = inv;
     }
@@ -323,7 +407,9 @@ fn refresh_recycle_space<S: Scalar>(
             let cu = blas::adjoint_times(&rec.c, &rec.u);
             let vu = blas::adjoint_times(&parts.v, &rec.u);
             if let Some(st) = stats {
-                st.record_reduction((cu.as_slice().len() + vu.as_slice().len()) * std::mem::size_of::<S>());
+                st.record_reduction(
+                    (cu.as_slice().len() + vu.as_slice().len()) * std::mem::size_of::<S>(),
+                );
             }
             let mut jmat = DMat::<S>::zeros(rows, cols);
             jmat.set_block(0, 0, &cu);
@@ -340,8 +426,10 @@ fn refresh_recycle_space<S: Scalar>(
             gtop.adjoint()
         }
     };
+    let eig_probe = tracer.span_start();
     let decomp = eig::eig_generalized(&t, &w);
     let pk = select_smallest::<S>(&decomp, kc);
+    tracer.span_end(eig_probe, SpanKind::Eigensolve, cycle);
     if pk.ncols() == 0 {
         return rec;
     }
@@ -410,13 +498,23 @@ fn select_smallest<S: Scalar>(decomp: &EigDecomp<S::Real>, k: usize) -> DMat<S> 
             let scale = 1.0 + lam.abs().to_f64();
             if lam.im.to_f64().abs() <= tol * scale {
                 // Real eigenvalue: real part of the vector.
-                cols.push((0..n).map(|r| S::from_f64(decomp.vectors[(r, i)].re.to_f64())).collect());
+                cols.push(
+                    (0..n)
+                        .map(|r| S::from_f64(decomp.vectors[(r, i)].re.to_f64()))
+                        .collect(),
+                );
             } else {
                 // Complex pair: real and imaginary parts; mark the partner.
-                cols.push((0..n).map(|r| S::from_f64(decomp.vectors[(r, i)].re.to_f64())).collect());
+                cols.push(
+                    (0..n)
+                        .map(|r| S::from_f64(decomp.vectors[(r, i)].re.to_f64()))
+                        .collect(),
+                );
                 if cols.len() < k {
                     cols.push(
-                        (0..n).map(|r| S::from_f64(decomp.vectors[(r, i)].im.to_f64())).collect(),
+                        (0..n)
+                            .map(|r| S::from_f64(decomp.vectors[(r, i)].im.to_f64()))
+                            .collect(),
                     );
                 }
                 for (j, &lj) in decomp.values.iter().enumerate() {
@@ -467,7 +565,12 @@ mod tests {
         let n = prob.a.nrows();
         let id = IdentityPrecond::new(n);
         let b = DMat::from_fn(n, 1, |i, _| ((i % 6) as f64) - 2.5);
-        let opts = SolveOpts { rtol: 1e-9, restart: 20, recycle: 5, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-9,
+            restart: 20,
+            recycle: 5,
+            ..Default::default()
+        };
         let mut ctx = SolverContext::new();
         let mut x = DMat::zeros(n, 1);
         let res = solve(&prob.a, &id, &b, &mut x, &opts, &mut ctx);
@@ -513,7 +616,12 @@ mod tests {
         let n = prob.a.nrows();
         let id = IdentityPrecond::new(n);
         let rhss = paper_rhs_sequence::<f64>(20, 20);
-        let opts = SolveOpts { rtol: 1e-8, restart: 25, recycle: 8, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 25,
+            recycle: 8,
+            ..Default::default()
+        };
 
         let mut total_gmres = 0;
         let mut total_gcrodr = 0;
@@ -537,7 +645,12 @@ mod tests {
         let prob = poisson2d::<f64>(16, 16);
         let n = prob.a.nrows();
         let id = IdentityPrecond::new(n);
-        let opts = SolveOpts { rtol: 1e-8, restart: 20, recycle: 6, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 20,
+            recycle: 6,
+            ..Default::default()
+        };
         let mut ctx = SolverContext::new();
         let b = DMat::from_fn(n, 1, |i, _| ((i % 5) as f64) - 2.0);
         let mut iters = Vec::new();
@@ -560,7 +673,12 @@ mod tests {
         let id = IdentityPrecond::new(n);
         let p = 3;
         let b = DMat::from_fn(n, p, |i, j| (((i + 2 * j) % 9) as f64) - 4.0);
-        let opts = SolveOpts { rtol: 1e-8, restart: 15, recycle: 4, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 15,
+            recycle: 4,
+            ..Default::default()
+        };
         let mut ctx = SolverContext::new();
         let mut x = DMat::zeros(n, p);
         let res = solve(&prob.a, &id, &b, &mut x, &opts, &mut ctx);
@@ -570,10 +688,18 @@ mod tests {
         assert_eq!(ctx.recycled_cols(), 4 * p);
         // Second block solve benefits.
         let mut x2 = DMat::zeros(n, p);
-        let opts2 = SolveOpts { same_system: true, ..opts.clone() };
+        let opts2 = SolveOpts {
+            same_system: true,
+            ..opts.clone()
+        };
         let res2 = solve(&prob.a, &id, &b, &mut x2, &opts2, &mut ctx);
         assert!(res2.converged);
-        assert!(res2.iterations < res.iterations, "{} !< {}", res2.iterations, res.iterations);
+        assert!(
+            res2.iterations < res.iterations,
+            "{} !< {}",
+            res2.iterations,
+            res.iterations
+        );
     }
 
     #[test]
@@ -606,7 +732,10 @@ mod tests {
         let amg = Amg::new(
             &prob.a,
             prob.near_nullspace.as_ref(),
-            &AmgOpts { smoother: SmootherKind::Gmres { iters: 2 }, ..Default::default() },
+            &AmgOpts {
+                smoother: SmootherKind::Gmres { iters: 2 },
+                ..Default::default()
+            },
         );
         let rhss = paper_rhs_sequence::<f64>(20, 20);
         let opts = SolveOpts {

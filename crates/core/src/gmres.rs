@@ -8,8 +8,10 @@
 //! solution update, so the preconditioner may change between applications.
 
 use crate::cycle::{any_above, rhs_norms, BlockArnoldi, PrecondMode};
-use crate::opts::{SolveOpts, SolveResult};
+use crate::opts::{PrecondSide, SolveOpts, SolveResult};
+use crate::trace::SolveTracer;
 use kryst_dense::DMat;
+use kryst_obs::SpanKind;
 use kryst_par::{LinOp, PrecondOp};
 use kryst_scalar::{Real, Scalar};
 
@@ -26,24 +28,41 @@ pub fn solve<S: Scalar>(
     let m = opts.restart.max(1);
     let mode = PrecondMode::new(pc, opts.side);
     let bnorms = rhs_norms(b);
-    let mut history: Vec<Vec<f64>> = Vec::new();
     let mut iters = 0usize;
     let mut converged = false;
+    let name = if opts.side == PrecondSide::Flexible {
+        "fgmres"
+    } else {
+        "gmres"
+    };
+    let mut tracer = SolveTracer::begin(opts, name, 0, a.nrows(), p);
+    let orth_name = opts.orth.name();
 
     let mut r = mode.residual(a, b, x);
     let r0: Vec<f64> = r.col_norms().iter().map(|v| v.to_f64()).collect();
     if !any_above(&r0, &bnorms, opts.rtol) {
-        let final_relres = r0.iter().zip(&bnorms).map(|(r, b)| r / b).collect();
-        return SolveResult { iterations: 0, converged: true, history, final_relres };
+        let final_relres: Vec<f64> = r0.iter().zip(&bnorms).map(|(r, b)| r / b).collect();
+        let history = tracer.finish(true, &final_relres);
+        return SolveResult {
+            iterations: 0,
+            converged: true,
+            history,
+            final_relres,
+        };
     }
 
+    let mut cycle = 0usize;
     while iters < opts.max_iters {
+        let cyc = tracer.span_start();
         let mut arn = BlockArnoldi::new(a, &mode, m, p, opts.orth, None, opts.stats.as_deref());
         arn.start(&r);
+        let mut first = true;
         while arn.can_step() && iters < opts.max_iters {
             let res = arn.step();
             iters += 1;
-            history.push(res.iter().zip(&bnorms).map(|(r, b)| r / b).collect());
+            let rel: Vec<f64> = res.iter().zip(&bnorms).map(|(r, b)| r / b).collect();
+            tracer.iteration(cycle, iters - 1, rel, orth_name, arn.breakdown_rank(first));
+            first = false;
             if !any_above(&res, &bnorms, opts.rtol) {
                 // Least-squares estimates say done — leave the cycle and
                 // validate against the true residual below (wide blocks with
@@ -51,10 +70,14 @@ pub fn solve<S: Scalar>(
                 break;
             }
         }
+        tracer.span_end(cyc, SpanKind::Cycle, cycle);
         // Apply the correction, recompute the true residual.
+        let restart = tracer.span_start();
         let y = arn.solve_y();
         arn.update_solution(&y, x);
         r = mode.residual(a, b, x);
+        tracer.span_end(restart, SpanKind::Restart, cycle);
+        cycle += 1;
         let rn: Vec<f64> = r.col_norms().iter().map(|v| v.to_f64()).collect();
         if !any_above(&rn, &bnorms, opts.rtol) {
             converged = true;
@@ -71,7 +94,13 @@ pub fn solve<S: Scalar>(
         .collect();
     // Trust the true residual for the final verdict.
     let converged = converged && final_relres.iter().all(|&v| v <= opts.rtol * 10.0);
-    SolveResult { iterations: iters, converged, history, final_relres }
+    let history = tracer.finish(converged, &final_relres);
+    SolveResult {
+        iterations: iters,
+        converged,
+        history,
+        final_relres,
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +128,11 @@ mod tests {
         let n = prob.a.nrows();
         let b = DMat::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
         let mut x = DMat::zeros(n, 1);
-        let opts = SolveOpts { rtol: 1e-10, max_iters: 500, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-10,
+            max_iters: 500,
+            ..Default::default()
+        };
         let id = IdentityPrecond::new(n);
         let res = solve(&prob.a, &id, &b, &mut x, &opts);
         assert!(res.converged, "GMRES failed: {:?}", res.final_relres);
@@ -114,7 +147,12 @@ mod tests {
         let n = prob.a.nrows();
         let b = DMat::from_fn(n, 1, |i, _| 1.0 + ((i % 5) as f64));
         let mut x = DMat::zeros(n, 1);
-        let opts = SolveOpts { rtol: 1e-8, restart: 10, max_iters: 3000, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 10,
+            max_iters: 3000,
+            ..Default::default()
+        };
         let id = IdentityPrecond::new(n);
         let res = solve(&prob.a, &id, &b, &mut x, &opts);
         assert!(res.converged);
@@ -129,7 +167,11 @@ mod tests {
         let b = DMat::from_fn(n, 1, |i, _| ((i * 3) % 11) as f64 - 5.0);
         for side in [PrecondSide::Left, PrecondSide::Right, PrecondSide::Flexible] {
             let mut x = DMat::zeros(n, 1);
-            let opts = SolveOpts { rtol: 1e-9, side, ..Default::default() };
+            let opts = SolveOpts {
+                rtol: 1e-9,
+                side,
+                ..Default::default()
+            };
             let res = solve(&prob.a, &jac, &b, &mut x, &opts);
             assert!(res.converged, "{side:?} failed");
             check_true_residual(&prob.a, &b, &x, 1e-8);
@@ -143,7 +185,12 @@ mod tests {
         let p = 4;
         let b = DMat::from_fn(n, p, |i, j| (((i + 1) * (j + 2)) % 13) as f64 - 6.0);
         let id = IdentityPrecond::new(n);
-        let opts = SolveOpts { rtol: 1e-8, restart: 40, max_iters: 400, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 40,
+            max_iters: 400,
+            ..Default::default()
+        };
         let mut xb = DMat::zeros(n, p);
         let res_block = solve(&prob.a, &id, &b, &mut xb, &opts);
         assert!(res_block.converged);
@@ -174,7 +221,10 @@ mod tests {
         let amg = Amg::new(
             &prob.a,
             prob.near_nullspace.as_ref(),
-            &AmgOpts { smoother: SmootherKind::Gmres { iters: 3 }, ..Default::default() },
+            &AmgOpts {
+                smoother: SmootherKind::Gmres { iters: 3 },
+                ..Default::default()
+            },
         );
         assert!(kryst_par::PrecondOp::<f64>::is_variable(&amg));
         let b = DMat::from_fn(n, 1, |i, _| ((i % 9) as f64) - 4.0);
@@ -186,7 +236,11 @@ mod tests {
         };
         let res = solve(&prob.a, &amg, &b, &mut x, &opts);
         assert!(res.converged, "FGMRES+AMG: {:?}", res.final_relres);
-        assert!(res.iterations < 25, "AMG-preconditioned GMRES took {}", res.iterations);
+        assert!(
+            res.iterations < 25,
+            "AMG-preconditioned GMRES took {}",
+            res.iterations
+        );
         check_true_residual(&prob.a, &b, &x, 1e-9);
     }
 
@@ -242,6 +296,9 @@ mod tests {
         let snap = stats.snapshot();
         // CholQR scheme: 3 reductions per iteration + 1 per cycle start.
         assert!(snap.reductions as usize >= 3 * res.iterations);
-        assert!(snap.reductions as usize <= 3 * res.iterations + 3 * (res.iterations / opts.restart + 2));
+        assert!(
+            snap.reductions as usize
+                <= 3 * res.iterations + 3 * (res.iterations / opts.restart + 2)
+        );
     }
 }

@@ -10,7 +10,9 @@
 
 use crate::cycle::{rhs_norms, BlockArnoldi, PrecondMode};
 use crate::opts::{SolveOpts, SolveResult};
+use crate::trace::SolveTracer;
 use kryst_dense::{blas, chol, DMat};
+use kryst_obs::SpanKind;
 use kryst_par::{LinOp, PrecondOp};
 use kryst_scalar::{Real, Scalar};
 use std::collections::VecDeque;
@@ -30,7 +32,9 @@ pub fn solve<S: Scalar>(
     let m_arnoldi = m - k;
     let mode = PrecondMode::new(pc, opts.side);
     let bnorms = rhs_norms(b);
-    let mut history: Vec<Vec<f64>> = Vec::new();
+    let mut tracer = SolveTracer::begin(opts, "lgmres", 0, a.nrows(), 1);
+    let orth_name = opts.orth.name();
+    let mut cycle = 0usize;
     let mut iters = 0usize;
     let mut converged = false;
     // Stored (z, A·z) pairs from previous cycles.
@@ -43,21 +47,41 @@ pub fn solve<S: Scalar>(
             converged = true;
             break;
         }
+        let cyc = tracer.span_start();
         // Arnoldi phase: m−k steps on the current residual.
-        let mut arn = BlockArnoldi::new(a, &mode, m_arnoldi, 1, opts.orth, None, opts.stats.as_deref());
+        let mut arn = BlockArnoldi::new(
+            a,
+            &mode,
+            m_arnoldi,
+            1,
+            opts.orth,
+            None,
+            opts.stats.as_deref(),
+        );
         arn.start(&r);
+        let mut first = true;
         while arn.can_step() && iters < opts.max_iters {
             let res = arn.step();
             iters += 1;
-            history.push(vec![res[0] / bnorms[0]]);
+            tracer.iteration(
+                cycle,
+                iters - 1,
+                vec![res[0] / bnorms[0]],
+                orth_name,
+                arn.breakdown_rank(first),
+            );
+            first = false;
             if res[0] <= opts.rtol * bnorms[0] {
                 // Converged inside the Krylov phase: plain GMRES update.
                 let y = arn.solve_y();
                 arn.update_solution(&y, x);
                 converged = true;
+                tracer.span_end(cyc, SpanKind::Cycle, cycle);
                 break 'outer;
             }
         }
+        tracer.span_end(cyc, SpanKind::Cycle, cycle);
+        let restart_probe = tracer.span_start();
         // Augmented minimization: directions D = [Z_arnoldi, z_prev…],
         // images G = [V·H̄, A·z_prev…]; minimize ‖r − G·y‖ exactly.
         let q = aug.len();
@@ -76,7 +100,7 @@ pub fn solve<S: Scalar>(
         let mut qg = gmat.clone();
         let out = chol::cholqr(&mut qg);
         if let Some(st) = &opts.stats {
-            st.record_reduction(out.r.as_slice().len() * std::mem::size_of::<S>());
+            st.record_reduction(std::mem::size_of_val(out.r.as_slice()));
         }
         let rfac = out.r;
         let mut rmax = 0.0f64;
@@ -110,10 +134,10 @@ pub fn solve<S: Scalar>(
         r = mode.residual(a, b, x);
         // Count the augmented directions as iterations (they are extra
         // minimization dimensions, matching PETSc's per-cycle work).
-        iters += q;
         let rel = r.col_norm(0).to_f64() / bnorms[0];
         for _ in 0..q {
-            history.push(vec![rel]);
+            iters += 1;
+            tracer.iteration(cycle, iters - 1, vec![rel], orth_name, None);
         }
         if q == k {
             aug.pop_front();
@@ -130,6 +154,8 @@ pub fn solve<S: Scalar>(
             azsc.scale(inv);
             aug.push_back((zsc, azsc));
         }
+        tracer.span_end(restart_probe, SpanKind::Restart, cycle);
+        cycle += 1;
         if rel <= opts.rtol {
             converged = true;
             break;
@@ -139,7 +165,13 @@ pub fn solve<S: Scalar>(
     let rfin = mode.residual(a, b, x);
     let final_relres = vec![rfin.col_norm(0).to_f64() / bnorms[0]];
     let converged = converged && final_relres[0] <= opts.rtol * 10.0;
-    SolveResult { iterations: iters, converged, history, final_relres }
+    let history = tracer.finish(converged, &final_relres);
+    SolveResult {
+        iterations: iters,
+        converged,
+        history,
+        final_relres,
+    }
 }
 
 #[cfg(test)]
@@ -156,7 +188,13 @@ mod tests {
         let id = IdentityPrecond::new(n);
         let b = DMat::from_fn(n, 1, |i, _| 1.0 + ((i % 4) as f64));
         let mut x = DMat::zeros(n, 1);
-        let opts = SolveOpts { rtol: 1e-9, restart: 15, recycle: 4, max_iters: 2000, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-9,
+            restart: 15,
+            recycle: 4,
+            max_iters: 2000,
+            ..Default::default()
+        };
         let res = solve(&prob.a, &id, &b, &mut x, &opts);
         assert!(res.converged, "{:?}", res.final_relres);
         let mut r = prob.a.apply(&x);
@@ -172,7 +210,13 @@ mod tests {
         let n = prob.a.nrows();
         let id = IdentityPrecond::new(n);
         let b = DMat::from_fn(n, 1, |i, _| (((i * 7) % 11) as f64) - 5.0);
-        let opts = SolveOpts { rtol: 1e-8, restart: 12, recycle: 3, max_iters: 5000, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 12,
+            recycle: 3,
+            max_iters: 5000,
+            ..Default::default()
+        };
         let mut xl = DMat::zeros(n, 1);
         let lg = solve(&prob.a, &id, &b, &mut xl, &opts);
         let mut xg = DMat::zeros(n, 1);
@@ -196,7 +240,13 @@ mod tests {
         let id = IdentityPrecond::new(n);
         let b = DMat::from_fn(n, 1, |i, _| ((i % 13) as f64) - 6.0);
         let mut x = DMat::zeros(n, 1);
-        let opts = SolveOpts { rtol: 1e-8, restart: 10, recycle: 2, max_iters: 4000, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 10,
+            recycle: 2,
+            max_iters: 4000,
+            ..Default::default()
+        };
         let res = solve(&prob.a, &id, &b, &mut x, &opts);
         assert!(res.converged);
     }

@@ -46,11 +46,11 @@ pub mod gmres;
 pub mod lgmres;
 pub mod opts;
 pub mod pseudo;
+pub mod trace;
 
-pub use opts::{
-    PrecondSide, RecycleStrategy, SolveOpts, SolveResult,
-};
 pub use cycle::PrecondMode;
 pub use gcrodr::{RecycleSpace, SolverContext};
+pub use opts::{PrecondSide, RecycleStrategy, SolveOpts, SolveResult};
+pub use trace::SolveTracer;
 
 pub use kryst_dense::gs::OrthScheme;

@@ -1,6 +1,7 @@
 //! Solver options and results.
 
 use kryst_dense::gs::OrthScheme;
+use kryst_obs::Recorder;
 use kryst_par::CommStats;
 use std::sync::Arc;
 
@@ -55,6 +56,12 @@ pub struct SolveOpts {
     pub same_system: bool,
     /// Optional communication counters (the §III-D accounting).
     pub stats: Option<Arc<CommStats>>,
+    /// Optional event sink: every solver emits typed per-iteration events,
+    /// solve spans, and begin/end markers through it (`kryst-obs`). `None`
+    /// behaves like a disabled recorder — no events are constructed. The
+    /// `comm` deltas on the events are sampled from [`SolveOpts::stats`]; to
+    /// get non-zero communication attribution, attach a `CommStats` too.
+    pub recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl Default for SolveOpts {
@@ -69,6 +76,7 @@ impl Default for SolveOpts {
             recycle_strategy: RecycleStrategy::A,
             same_system: false,
             stats: None,
+            recorder: None,
         }
     }
 }

@@ -20,10 +20,11 @@
 use crate::gcrodr::{self, SolverContext};
 use crate::gmres;
 use crate::opts::{SolveOpts, SolveResult};
+use crate::trace::SolveTracer;
 use kryst_dense::DMat;
 use kryst_par::{LinOp, PrecondOp};
 use kryst_scalar::Scalar;
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 /// Which single-RHS method the pseudo-block driver fuses.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -58,16 +59,20 @@ struct BatchState<S: Scalar> {
     live: usize,
 }
 
+/// The fused kernel a [`BatchGroup`] leader executes on behalf of all
+/// members: `(kind, fused columns) -> fused result`.
+pub type BatchExec<'a, S> = Box<dyn Fn(u8, &DMat<S>) -> DMat<S> + Send + Sync + 'a>;
+
 /// Leader-executes batching barrier over the operator and preconditioner.
 pub struct BatchGroup<'a, S: Scalar> {
     state: Mutex<BatchState<S>>,
     cv: Condvar,
-    exec: Box<dyn Fn(u8, &DMat<S>) -> DMat<S> + Send + Sync + 'a>,
+    exec: BatchExec<'a, S>,
 }
 
 impl<'a, S: Scalar> BatchGroup<'a, S> {
     /// A group of `p` members over the given kernel executor.
-    pub fn new(p: usize, exec: Box<dyn Fn(u8, &DMat<S>) -> DMat<S> + Send + Sync + 'a>) -> Self {
+    pub fn new(p: usize, exec: BatchExec<'a, S>) -> Self {
         Self {
             state: Mutex::new(BatchState {
                 pending: (0..p).map(|_| None).collect(),
@@ -122,7 +127,7 @@ impl<'a, S: Scalar> BatchGroup<'a, S> {
 
     /// Submit a kernel request and block until the batch executes.
     pub fn submit(&self, me: usize, tag: u8, block: &DMat<S>) -> DMat<S> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         debug_assert!(st.active[me]);
         st.pending[me] = Some((tag, block.clone()));
         st.waiting += 1;
@@ -131,7 +136,7 @@ impl<'a, S: Scalar> BatchGroup<'a, S> {
             self.cv.notify_all();
         } else {
             while st.results[me].is_none() {
-                self.cv.wait(&mut st);
+                st = self.cv.wait(st).unwrap();
             }
         }
         st.results[me].take().expect("batched result present")
@@ -139,7 +144,7 @@ impl<'a, S: Scalar> BatchGroup<'a, S> {
 
     /// Leave the group (the member's solve has finished).
     pub fn deregister(&self, me: usize) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if !st.active[me] {
             return;
         }
@@ -196,6 +201,11 @@ pub fn solve<S: Scalar>(
     let n = a.nrows();
     let p = b.ncols();
     assert_eq!(x.ncols(), p);
+    let name = match method {
+        PseudoMethod::Gmres => "pseudo-gmres",
+        PseudoMethod::GcroDr => "pseudo-gcrodr",
+    };
+    let mut tracer = SolveTracer::begin(opts, name, 0, n, p);
     let group = BatchGroup::new(
         p,
         Box::new(move |tag, block: &DMat<S>| {
@@ -221,8 +231,13 @@ pub fn solve<S: Scalar>(
         }
     };
     // Fused reductions: individual threads would overcount, so silence the
-    // per-thread stats and account at the end.
-    let thread_opts = SolveOpts { stats: None, ..opts.clone() };
+    // per-thread stats (and recorders — the fused driver emits one event
+    // stream for the whole batch) and account at the end.
+    let thread_opts = SolveOpts {
+        stats: None,
+        recorder: None,
+        ..opts.clone()
+    };
 
     let mut per_rhs: Vec<Option<(Vec<S>, SolveResult)>> = (0..p).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -233,8 +248,18 @@ pub fn solve<S: Scalar>(
             let bl = DMat::from_col_major(n, 1, b.col(l).to_vec());
             let mut xl = DMat::from_col_major(n, 1, x.col(l).to_vec());
             handles.push(scope.spawn(move || {
-                let aop = BatchedOp { group, me: l, tag: TAG_OP, n };
-                let mop = BatchedOp { group, me: l, tag: TAG_PC, n };
+                let aop = BatchedOp {
+                    group,
+                    me: l,
+                    tag: TAG_OP,
+                    n,
+                };
+                let mop = BatchedOp {
+                    group,
+                    me: l,
+                    tag: TAG_PC,
+                    n,
+                };
                 let res = match method {
                     PseudoMethod::Gmres => gmres::solve(&aop, &mop, &bl, &mut xl, topts),
                     PseudoMethod::GcroDr => gcrodr::solve(&aop, &mop, &bl, &mut xl, topts, ctx),
@@ -260,11 +285,37 @@ pub fn solve<S: Scalar>(
     }
     // Fused accounting: one reduction round per fused iteration (batched
     // norms/orthogonalization), as §V-B1 describes ("the required number of
-    // dot products is lowered to m instead").
-    if let Some(st) = &opts.stats {
-        st.record_reductions(3 * iterations, 3 * iterations * p * std::mem::size_of::<S>());
+    // dot products is lowered to m instead"). Recorded per iteration so the
+    // synthesized iteration events below tile the solve total exactly.
+    let orth_name = opts.orth.name();
+    let m = opts.restart.max(1);
+    for it in 0..iterations {
+        if let Some(st) = &opts.stats {
+            st.record_reductions(3, 3 * p * std::mem::size_of::<S>());
+        }
+        // Per-RHS residual at this fused step; converged members hold their
+        // final value.
+        let row: Vec<f64> = results
+            .iter()
+            .map(|r| {
+                r.history
+                    .get(it)
+                    .and_then(|h| h.first().copied())
+                    .unwrap_or_else(|| r.final_relres.first().copied().unwrap_or(0.0))
+            })
+            .collect();
+        tracer.iteration(it / m, it, row, orth_name, None);
     }
-    PseudoResult { per_rhs: results, iterations, converged }
+    let final_relres: Vec<f64> = results
+        .iter()
+        .map(|r| r.final_relres.first().copied().unwrap_or(0.0))
+        .collect();
+    let _ = tracer.finish(converged, &final_relres);
+    PseudoResult {
+        per_rhs: results,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -289,7 +340,11 @@ mod tests {
         let n = prob.a.nrows();
         let id = IdentityPrecond::new(n);
         let b = paper_rhs_block::<f64>(12, 12);
-        let opts = SolveOpts { rtol: 1e-8, restart: 20, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 20,
+            ..Default::default()
+        };
         let mut xp = DMat::zeros(n, 4);
         let pres = solve(&prob.a, &id, &b, &mut xp, &opts, PseudoMethod::Gmres, None);
         assert!(pres.converged);
@@ -323,12 +378,28 @@ mod tests {
         };
         let mut ctxs: Vec<SolverContext<f64>> = Vec::new();
         let mut x1 = DMat::zeros(n, 4);
-        let r1 = solve(&prob.a, &id, &b, &mut x1, &opts, PseudoMethod::GcroDr, Some(&mut ctxs));
+        let r1 = solve(
+            &prob.a,
+            &id,
+            &b,
+            &mut x1,
+            &opts,
+            PseudoMethod::GcroDr,
+            Some(&mut ctxs),
+        );
         assert!(r1.converged);
         check_true_residual(&prob.a, &b, &x1, 1e-8);
         // Second solve of the same systems: recycling must cut iterations.
         let mut x2 = DMat::zeros(n, 4);
-        let r2 = solve(&prob.a, &id, &b, &mut x2, &opts, PseudoMethod::GcroDr, Some(&mut ctxs));
+        let r2 = solve(
+            &prob.a,
+            &id,
+            &b,
+            &mut x2,
+            &opts,
+            PseudoMethod::GcroDr,
+            Some(&mut ctxs),
+        );
         assert!(r2.converged);
         check_true_residual(&prob.a, &b, &x2, 1e-8);
         assert!(
@@ -349,7 +420,11 @@ mod tests {
         for i in 0..n {
             b[(i, 1)] = 1.0 + ((i * 3) % 7) as f64;
         }
-        let opts = SolveOpts { rtol: 1e-9, restart: 10, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-9,
+            restart: 10,
+            ..Default::default()
+        };
         let mut x = DMat::zeros(n, 2);
         let res = solve(&prob.a, &id, &b, &mut x, &opts, PseudoMethod::Gmres, None);
         assert!(res.converged);
@@ -364,7 +439,15 @@ mod tests {
         let id = IdentityPrecond::new(n);
         let b = DMat::from_fn(n, 1, |i, _| (i % 3) as f64);
         let mut x = DMat::zeros(n, 1);
-        let res = solve(&prob.a, &id, &b, &mut x, &SolveOpts::default(), PseudoMethod::Gmres, None);
+        let res = solve(
+            &prob.a,
+            &id,
+            &b,
+            &mut x,
+            &SolveOpts::default(),
+            PseudoMethod::Gmres,
+            None,
+        );
         assert!(res.converged);
     }
 }

@@ -1,0 +1,274 @@
+//! Solve-side event emission.
+//!
+//! [`SolveTracer`] is the single funnel every solver in this crate emits
+//! through. It owns three jobs:
+//!
+//! 1. **History.** Per-iteration, per-RHS relative residuals are pushed here
+//!    and become [`crate::SolveResult::history`] — and, when a recorder is
+//!    attached, the *same* vectors ride on the iteration events, so
+//!    `kryst_obs::history(events)` reconstructs the solver's history exactly.
+//! 2. **Delta attribution.** Communication counters are sampled with a
+//!    [`CommInterval`] once per iteration event; each event carries the
+//!    change since the previous event. The first iteration of a solve
+//!    absorbs the setup work before it, and [`SolveTracer::finish`] folds
+//!    the trailing work (recycle refresh, true-residual check) into the
+//!    *last* iteration event — so the sum of the iteration deltas equals the
+//!    whole-solve total **by construction**, which the conformance suite
+//!    asserts for every solver.
+//! 3. **Spans.** Phases (setup / restart / recycle-refresh / eigensolve) are
+//!    measured with local snapshots that do not advance the iteration
+//!    interval, so span deltas overlay the iteration stream without
+//!    perturbing it.
+//!
+//! With no recorder (or a disabled one, e.g. `NullRecorder`) the tracer
+//! skips event construction entirely: per iteration it costs one `Option`
+//! check beyond the history push the solvers always did.
+
+use crate::opts::SolveOpts;
+use kryst_obs::{Event, IterationEvent, Recorder, SolveEndEvent, SpanEvent, SpanKind};
+use kryst_par::{CommInterval, CommSnapshot};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Start marker of a [`SolveTracer`] span (see [`SolveTracer::span_start`]).
+pub struct SpanProbe {
+    t: Instant,
+    snap: CommSnapshot,
+}
+
+/// Per-solve event emitter (see module docs).
+pub struct SolveTracer {
+    rec: Option<Arc<dyn Recorder>>,
+    solver: &'static str,
+    system_index: usize,
+    interval: CommInterval,
+    base: CommSnapshot,
+    t0: Instant,
+    t_last: Instant,
+    pending: Option<IterationEvent>,
+    history: Vec<Vec<f64>>,
+}
+
+impl SolveTracer {
+    /// Begin tracing one solve; emits the `SolveBegin` marker when a
+    /// recorder is attached and enabled.
+    pub fn begin(
+        opts: &SolveOpts,
+        solver: &'static str,
+        system_index: usize,
+        nrows: usize,
+        nrhs: usize,
+    ) -> Self {
+        let rec = opts.recorder.as_ref().filter(|r| r.enabled()).cloned();
+        let interval = CommInterval::start(opts.stats.clone());
+        let base = interval.now();
+        if let Some(r) = &rec {
+            r.record(&Event::SolveBegin {
+                solver,
+                system_index,
+                nrows,
+                nrhs,
+                restart: opts.restart,
+                recycle: opts.recycle,
+            });
+        }
+        let now = Instant::now();
+        Self {
+            rec,
+            solver,
+            system_index,
+            interval,
+            base,
+            t0: now,
+            t_last: now,
+            pending: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Record one (block) iteration. `residuals` are the per-RHS relative
+    /// residual estimates after the iteration; they are appended to the
+    /// history unconditionally and carried on the event when recording.
+    pub fn iteration(
+        &mut self,
+        cycle: usize,
+        iter: usize,
+        residuals: Vec<f64>,
+        orth_backend: &'static str,
+        breakdown_rank: Option<usize>,
+    ) {
+        if let Some(rec) = &self.rec {
+            let comm = self.interval.take().to_delta();
+            let now = Instant::now();
+            let wall_ns = now.duration_since(self.t_last).as_nanos() as u64;
+            self.t_last = now;
+            let ev = IterationEvent {
+                solver: self.solver,
+                system_index: self.system_index,
+                cycle,
+                iter,
+                per_rhs_residuals: residuals.clone(),
+                comm,
+                orth_backend,
+                breakdown_rank,
+                wall_ns,
+            };
+            if let Some(prev) = self.pending.replace(ev) {
+                rec.record(&Event::Iteration(prev));
+            }
+        }
+        self.history.push(residuals);
+    }
+
+    /// Begin a span. Cheap when not recording.
+    pub fn span_start(&self) -> SpanProbe {
+        if self.rec.is_some() {
+            SpanProbe {
+                t: Instant::now(),
+                snap: self.interval.now(),
+            }
+        } else {
+            SpanProbe {
+                t: self.t0,
+                snap: CommSnapshot::default(),
+            }
+        }
+    }
+
+    /// End a span started with [`SolveTracer::span_start`], emitting a
+    /// [`SpanEvent`] of `kind`. Span deltas use local snapshots and do not
+    /// advance the iteration interval.
+    pub fn span_end(&self, probe: SpanProbe, kind: SpanKind, cycle: usize) {
+        if let Some(r) = &self.rec {
+            let comm = self.interval.now().since(&probe.snap).to_delta();
+            r.record(&Event::Span(SpanEvent {
+                solver: self.solver,
+                system_index: self.system_index,
+                kind,
+                cycle,
+                comm,
+                wall_ns: probe.t.elapsed().as_nanos() as u64,
+            }));
+        }
+    }
+
+    /// Finish the solve: fold the trailing communication into the last
+    /// iteration event, flush it, and emit `SolveEnd`. Returns the history
+    /// for [`crate::SolveResult`].
+    pub fn finish(mut self, converged: bool, final_relres: &[f64]) -> Vec<Vec<f64>> {
+        if let Some(r) = self.rec.take() {
+            let tail = self.interval.take().to_delta();
+            let now = Instant::now();
+            if let Some(mut last) = self.pending.take() {
+                last.comm += tail;
+                last.wall_ns += now.duration_since(self.t_last).as_nanos() as u64;
+                r.record(&Event::Iteration(last));
+            }
+            let comm_total = self.interval.now().since(&self.base).to_delta();
+            r.record(&Event::SolveEnd(SolveEndEvent {
+                solver: self.solver,
+                system_index: self.system_index,
+                iterations: self.history.len(),
+                converged,
+                final_relres: final_relres.to_vec(),
+                comm_total,
+                wall_ns: now.duration_since(self.t0).as_nanos() as u64,
+            }));
+        }
+        self.history
+    }
+
+    /// Iterations recorded so far.
+    pub fn iterations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Residuals of the most recent iteration.
+    pub fn last_residuals(&self) -> Option<&[f64]> {
+        self.history.last().map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kryst_obs::{cumulative_comm, RingRecorder};
+    use kryst_par::CommStats;
+
+    #[test]
+    fn deltas_tile_the_solve_and_history_is_a_view() {
+        let stats = CommStats::new_shared();
+        let ring = Arc::new(RingRecorder::new(1024));
+        let opts = SolveOpts {
+            stats: Some(Arc::clone(&stats)),
+            recorder: Some(ring.clone() as Arc<dyn Recorder>),
+            ..SolveOpts::default()
+        };
+        stats.record_reduction(8); // pre-solve noise stays out of the totals
+        let mut tr = SolveTracer::begin(&opts, "test", 3, 100, 2);
+
+        stats.record_reductions(2, 16); // setup → absorbed by iteration 0
+        tr.iteration(0, 0, vec![1.0, 0.9], "cholqr", None);
+        stats.record_reductions(3, 24);
+        tr.iteration(0, 1, vec![0.5, 0.4], "cholqr", Some(1));
+        stats.record_reduction(8); // trailing work → folded into iteration 1
+        let history = tr.finish(true, &[0.5, 0.4]);
+
+        assert_eq!(history, vec![vec![1.0, 0.9], vec![0.5, 0.4]]);
+        let events = ring.events();
+        assert_eq!(kryst_obs::history(&events), history);
+        let iters = kryst_obs::iteration_events(&events);
+        assert_eq!(iters.len(), 2);
+        assert_eq!(iters[0].comm.reductions, 2);
+        assert_eq!(iters[1].comm.reductions, 4);
+        assert_eq!(iters[1].breakdown_rank, Some(1));
+        let end = events
+            .iter()
+            .find_map(|e| match e {
+                Event::SolveEnd(e) => Some(e.clone()),
+                _ => None,
+            })
+            .expect("solve end emitted");
+        assert_eq!(end.comm_total, cumulative_comm(&events));
+        assert_eq!(end.iterations, 2);
+    }
+
+    #[test]
+    fn untracked_tracer_still_builds_history() {
+        let opts = SolveOpts::default();
+        let mut tr = SolveTracer::begin(&opts, "test", 0, 10, 1);
+        assert!(!tr.enabled());
+        tr.iteration(0, 0, vec![1.0], "mgs", None);
+        let probe = tr.span_start();
+        tr.span_end(probe, SpanKind::Setup, 0);
+        let h = tr.finish(false, &[1.0]);
+        assert_eq!(h, vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn spans_do_not_perturb_iteration_deltas() {
+        let stats = CommStats::new_shared();
+        let ring = Arc::new(RingRecorder::new(64));
+        let opts = SolveOpts {
+            stats: Some(Arc::clone(&stats)),
+            recorder: Some(ring.clone() as Arc<dyn Recorder>),
+            ..SolveOpts::default()
+        };
+        let mut tr = SolveTracer::begin(&opts, "test", 0, 10, 1);
+        let probe = tr.span_start();
+        stats.record_reductions(5, 40);
+        tr.span_end(probe, SpanKind::Setup, 0);
+        tr.iteration(0, 0, vec![0.1], "cholqr", None);
+        let _ = tr.finish(true, &[0.1]);
+        let events = ring.events();
+        let sp = kryst_obs::spans_of(&events, SpanKind::Setup);
+        assert_eq!(sp[0].comm.reductions, 5);
+        // The span's reductions still belong to the iteration stream.
+        assert_eq!(cumulative_comm(&events).reductions, 5);
+    }
+}

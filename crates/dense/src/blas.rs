@@ -7,9 +7,11 @@
 //! parallelized over the columns of `C` with rayon once the work is large
 //! enough to amortize the fork–join.
 
+#![allow(clippy::needless_range_loop)] // index loops mirror the BLAS/LAPACK reference forms
+
 use crate::DMat;
+use kryst_rt::par::for_each_chunk_mut;
 use kryst_scalar::Scalar;
-use rayon::prelude::*;
 
 /// How an operand enters the product.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -135,10 +137,7 @@ pub fn gemm<S: Scalar>(
     };
 
     if work >= PAR_THRESHOLD && n > 1 {
-        cdata
-            .par_chunks_mut(ldc)
-            .enumerate()
-            .for_each(|(j, ccol)| col_kernel(j, ccol));
+        for_each_chunk_mut(cdata, ldc, 0, col_kernel);
     } else {
         for (j, ccol) in cdata.chunks_mut(ldc).enumerate() {
             col_kernel(j, ccol);

@@ -137,15 +137,22 @@ pub fn cholqr<S: Scalar>(v: &mut DMat<S>) -> CholQr<S> {
             dmin = dmin.min(d);
             dmax = dmax.max(d);
         }
-        // Well-conditioned: accept the plain factorization.
-        let eps_cut = S::Real::epsilon().sqrt();
+        // Well-conditioned: accept the plain factorization. The margin sits
+        // well above the √eps-level diagonal a rounded-to-positive singular
+        // Gram produces, so exact rank deficiency always takes the
+        // rank-revealing path instead of flipping a coin on rounding noise.
+        let eps_cut = S::Real::epsilon().sqrt() * S::Real::from_f64(32.0);
         if dmax > S::Real::zero() && dmin > dmax * eps_cut {
             tri::right_solve_upper(v, &r);
-            return CholQr { r, rank: p, cond_estimate: dmin / dmax };
+            return CholQr {
+                r,
+                rank: p,
+                cond_estimate: dmin / dmax,
+            };
         }
     }
     // Breakdown path: rank-revealing factorization of the Gram matrix.
-    let piv = pivoted_cholesky(&gram, S::Real::epsilon() * S::Real::from_f64(16.0));
+    let piv = pivoted_cholesky(&gram, S::Real::epsilon() * S::Real::from_f64(256.0));
     rank_revealing_fixup(v, piv)
 }
 
@@ -169,8 +176,10 @@ fn rank_revealing_fixup<S: Scalar>(v: &mut DMat<S>, piv: PivotedCholesky<S>) -> 
         let n = v.nrows();
         let mut e = vec![S::zero(); n];
         e[k % n] = S::one();
+        // Orthogonalize against everything accumulated so far — the leading
+        // range AND earlier replacement columns.
         for _pass in 0..2 {
-            for j in 0..rank {
+            for j in 0..q_lead.ncols() {
                 let qj = q_lead.col(j);
                 let mut dot = S::zero();
                 for (qi, ei) in qj.iter().zip(e.iter()) {
@@ -192,19 +201,27 @@ fn rank_revealing_fixup<S: Scalar>(v: &mut DMat<S>, piv: PivotedCholesky<S>) -> 
         }
         q_lead = q_lead.hcat(&DMat::from_vec(e));
     }
-    // Un-permute columns back: column perm[k] of the result is q_lead[:,k].
+    // Store Q in pivot order: with R_orig = R_piv · Pᵀ below, the identity
+    // V[:, perm[k]] = Q · R_orig[:, perm[k]] = Q_lead · R_piv[:, k] only
+    // holds when column k of Q is q_lead[:, k] — scattering Q back through
+    // the permutation while leaving the R rows unpermuted would break
+    // V = Q·R for any nontrivial pivoting.
     for k in 0..p {
-        v.col_mut(piv.perm[k]).copy_from_slice(q_lead.col(k));
+        v.col_mut(k).copy_from_slice(q_lead.col(k));
     }
-    // R in original column order: R_orig = R_piv · Pᵀ restricted to leading rank rows.
+    // R = R_piv · Pᵀ restricted to the leading rank rows (upper triangular
+    // up to the column permutation).
     let mut r = DMat::zeros(p, p);
     for k in 0..p {
         for i in 0..rank.min(k + 1) {
-            // entry (i, perm[k]) of the unpermuted factor
             r[(i, piv.perm[k])] = piv.r[(i, k)];
         }
     }
-    CholQr { r, rank, cond_estimate: S::Real::zero() }
+    CholQr {
+        r,
+        rank,
+        cond_estimate: S::Real::zero(),
+    }
 }
 
 #[cfg(test)]
@@ -249,7 +266,11 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((g[(i, j)] - expect).abs() < 1e-10, "Gram ({i},{j}) = {}", g[(i, j)]);
+                assert!(
+                    (g[(i, j)] - expect).abs() < 1e-10,
+                    "Gram ({i},{j}) = {}",
+                    g[(i, j)]
+                );
             }
         }
         // V = Q·R
@@ -293,7 +314,11 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((g[(i, j)] - expect).abs() < 1e-8, "Gram ({i},{j}) = {}", g[(i, j)]);
+                assert!(
+                    (g[(i, j)] - expect).abs() < 1e-8,
+                    "Gram ({i},{j}) = {}",
+                    g[(i, j)]
+                );
             }
         }
     }
@@ -301,7 +326,9 @@ mod tests {
     #[test]
     fn pivoted_cholesky_rank() {
         // Gram matrix of rank 2.
-        let b = DMat::<f64>::from_fn(6, 2, |i, j| (i + j + 1) as f64 * if j == 0 { 1.0 } else { -0.3 });
+        let b = DMat::<f64>::from_fn(6, 2, |i, j| {
+            (i + j + 1) as f64 * if j == 0 { 1.0 } else { -0.3 }
+        });
         let v = matmul(&b, Op::None, &b.transpose(), Op::None); // 6×6 rank ≤ 2
         let piv = pivoted_cholesky(&v, 1e-12);
         assert_eq!(piv.rank, 2);

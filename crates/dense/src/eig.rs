@@ -73,7 +73,9 @@ fn hessenberg<R: Real>(a: &DMat<Complex<R>>) -> (DMat<Complex<R>>, DMat<Complex<
             continue;
         }
         let beta = x[0];
-        let v: Vec<Complex<R>> = std::iter::once(Complex::one()).chain(x[1..].iter().copied()).collect();
+        let v: Vec<Complex<R>> = std::iter::once(Complex::one())
+            .chain(x[1..].iter().copied())
+            .collect();
         // Left: rows k+1..n of all columns k..n get Hᴴ = I − conj(tau)·v·vᴴ.
         for j in k..n {
             let mut w = Complex::zero();
@@ -280,7 +282,11 @@ pub fn eig<S: Scalar>(a: &DMat<S>) -> EigDecomp<S::Real> {
     let n = a.nrows();
     let values: Vec<Complex<S::Real>> = (0..n).map(|i| h[(i, i)]).collect();
     let vectors = eigvecs_from_schur(&h, &q);
-    EigDecomp { values, vectors, converged }
+    EigDecomp {
+        values,
+        vectors,
+        converged,
+    }
 }
 
 /// Generalized eigenproblem `T·z = θ·W·z`, reduced to the standard problem
@@ -297,7 +303,8 @@ pub fn eig_generalized<S: Scalar>(t: &DMat<S>, w: &DMat<S>) -> EigDecomp<S::Real
     let mut f = Lu::factor(wc.clone());
     if f.is_singular() {
         // Regularize: W + ε‖W‖·I.
-        let shift = w.max_abs().max(S::Real::epsilon()) * S::Real::epsilon() * S::Real::from_f64(1e4);
+        let shift =
+            w.max_abs().max(S::Real::epsilon()) * S::Real::epsilon() * S::Real::from_f64(1e4);
         for i in 0..n {
             wc[(i, i)] += Complex::new(shift, S::Real::zero());
         }
@@ -308,7 +315,11 @@ pub fn eig_generalized<S: Scalar>(t: &DMat<S>, w: &DMat<S>) -> EigDecomp<S::Real
     let converged = schur_qr(&mut h, &mut q);
     let values: Vec<Complex<S::Real>> = (0..n).map(|i| h[(i, i)]).collect();
     let vectors = eigvecs_from_schur(&h, &q);
-    EigDecomp { values, vectors, converged }
+    EigDecomp {
+        values,
+        vectors,
+        converged,
+    }
 }
 
 impl<R: Real> EigDecomp<R> {
@@ -337,9 +348,9 @@ impl<R: Real> EigDecomp<R> {
 /// Take the real part of a complex matrix (valid when the original problem
 /// was real and eigenvectors are wanted in the original scalar type; complex
 /// conjugate pairs are rotated to real form first via column phase).
-pub fn realize_columns<R: Real>(m: &DMat<Complex<R>>) -> DMat<R>
+pub fn realize_columns<R>(m: &DMat<Complex<R>>) -> DMat<R>
 where
-    R: Scalar<Real = R>,
+    R: Real + Scalar<Real = R>,
 {
     // Rotate each column by the phase of its largest entry so that a
     // genuinely real eigenvector (up to phase) becomes real.
@@ -420,7 +431,8 @@ mod tests {
         let mut vals: Vec<f64> = d.values.iter().map(|v| v.re).collect();
         vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
         for (k, v) in vals.iter().enumerate() {
-            let expect = 2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n as f64 + 1.0)).cos();
+            let expect =
+                2.0 - 2.0 * (std::f64::consts::PI * (k + 1) as f64 / (n as f64 + 1.0)).cos();
             assert!((v - expect).abs() < 1e-8, "λ_{k} = {v}, expect {expect}");
         }
     }
@@ -450,7 +462,11 @@ mod tests {
             C64::from_parts(
                 ((i * 5 + j * 3) % 7) as f64 - 3.0,
                 ((i + 2 * j) % 5) as f64 - 2.0,
-            ) + if i == j { C64::from_parts(6.0, 0.0) } else { C64::zero() }
+            ) + if i == j {
+                C64::from_parts(6.0, 0.0)
+            } else {
+                C64::zero()
+            }
         });
         let d = eig(&a);
         assert!(d.converged);
@@ -475,7 +491,9 @@ mod tests {
 
     #[test]
     fn generalized_reduces_to_standard_when_w_is_identity() {
-        let a = DMat::<f64>::from_fn(5, 5, |i, j| ((i + 2 * j) % 5) as f64 + if i == j { 4.0 } else { 0.0 });
+        let a = DMat::<f64>::from_fn(5, 5, |i, j| {
+            ((i + 2 * j) % 5) as f64 + if i == j { 4.0 } else { 0.0 }
+        });
         let w = DMat::<f64>::eye(5);
         let dg = eig_generalized(&a, &w);
         let ds = eig(&a);
@@ -492,7 +510,9 @@ mod tests {
     fn generalized_eig_residual() {
         // T z = θ W z with W SPD.
         let n = 6;
-        let t = DMat::<f64>::from_fn(n, n, |i, j| ((i * 3 + j) % 7) as f64 - 3.0 + if i == j { 5.0 } else { 0.0 });
+        let t = DMat::<f64>::from_fn(n, n, |i, j| {
+            ((i * 3 + j) % 7) as f64 - 3.0 + if i == j { 5.0 } else { 0.0 }
+        });
         let m = DMat::<f64>::from_fn(n, n, |i, j| ((i + j * 2) % 5) as f64 * 0.2);
         let mut w = matmul(&m, Op::ConjTrans, &m, Op::None);
         for i in 0..n {
@@ -517,7 +537,13 @@ mod tests {
 
     #[test]
     fn smallest_selection() {
-        let a = DMat::<f64>::from_fn(5, 5, |i, j| if i == j { [5.0, -0.5, 3.0, 0.1, -2.0][i] } else { 0.0 });
+        let a = DMat::<f64>::from_fn(5, 5, |i, j| {
+            if i == j {
+                [5.0, -0.5, 3.0, 0.1, -2.0][i]
+            } else {
+                0.0
+            }
+        });
         let d = eig(&a);
         let idx = d.smallest_indices(2);
         let mags: Vec<f64> = idx.iter().map(|&i| d.values[i].abs()).collect();

@@ -32,6 +32,18 @@ pub enum OrthScheme {
     CholQr,
 }
 
+impl OrthScheme {
+    /// Stable lowercase name used in solver traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            OrthScheme::Cgs => "cgs",
+            OrthScheme::Mgs => "mgs",
+            OrthScheme::Imgs => "imgs",
+            OrthScheme::CholQr => "cholqr",
+        }
+    }
+}
+
 /// Projection coefficients produced by [`orthogonalize_block`]: the new block
 /// satisfies `W_orig = V·C + Q·R` with `Q` the orthonormalized output block.
 pub struct BlockOrth<S: Scalar> {
@@ -143,7 +155,12 @@ pub fn orthogonalize_block<S: Scalar>(
         }
     };
 
-    BlockOrth { coeffs, r, rank, reductions: reductions + intra_reductions }
+    BlockOrth {
+        coeffs,
+        r,
+        rank,
+        reductions: reductions + intra_reductions,
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +184,11 @@ mod tests {
         assert_eq!(out.rank, 3);
         // VᴴQ ≈ 0
         let c = blas::adjoint_times(&v, &w);
-        assert!(c.max_abs() < 1e-10, "{scheme:?}: basis orthogonality {}", c.max_abs());
+        assert!(
+            c.max_abs() < 1e-10,
+            "{scheme:?}: basis orthogonality {}",
+            c.max_abs()
+        );
         // QᴴQ ≈ I
         let g = blas::adjoint_times(&w, &w);
         for i in 0..3 {
@@ -192,7 +213,12 @@ mod tests {
 
     #[test]
     fn all_schemes_orthogonalize() {
-        for scheme in [OrthScheme::Cgs, OrthScheme::Mgs, OrthScheme::Imgs, OrthScheme::CholQr] {
+        for scheme in [
+            OrthScheme::Cgs,
+            OrthScheme::Mgs,
+            OrthScheme::Imgs,
+            OrthScheme::CholQr,
+        ] {
             check_scheme(scheme);
         }
     }

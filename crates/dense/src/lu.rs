@@ -61,7 +61,12 @@ impl<S: Scalar> Lu<S> {
                 }
             }
         }
-        Self { lu: a, piv, nswaps, singular }
+        Self {
+            lu: a,
+            piv,
+            nswaps,
+            singular,
+        }
     }
 
     /// Whether a zero pivot was met.

@@ -19,7 +19,11 @@ pub struct DMat<S> {
 impl<S: Scalar> DMat<S> {
     /// `nrows × ncols` matrix of zeros.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { data: vec![S::zero(); nrows * ncols], nrows, ncols }
+        Self {
+            data: vec![S::zero(); nrows * ncols],
+            nrows,
+            ncols,
+        }
     }
 
     /// Identity matrix of dimension `n`.

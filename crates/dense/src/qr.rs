@@ -35,7 +35,11 @@ pub fn householder_reflector<S: Scalar>(x: &mut [S]) -> S {
     }
     let beta_mag = (alpha.abs_sqr() + xnorm_sqr).sqrt();
     // beta takes the opposite sign of Re(alpha) for stability.
-    let beta = if alpha.re() >= S::Real::zero() { -beta_mag } else { beta_mag };
+    let beta = if alpha.re() >= S::Real::zero() {
+        -beta_mag
+    } else {
+        beta_mag
+    };
     let beta_s = S::from_real(beta);
     let tau = (beta_s - alpha) / beta_s;
     let scale = S::one() / (alpha - beta_s);
@@ -116,7 +120,11 @@ impl<S: Scalar> HouseholderQr<S> {
     /// The upper-triangular factor `R` (`n × n`).
     pub fn r(&self) -> DMat<S> {
         let n = self.ncols();
-        DMat::from_fn(n, n, |i, j| if i <= j { self.qr[(i, j)] } else { S::zero() })
+        DMat::from_fn(
+            n,
+            n,
+            |i, j| if i <= j { self.qr[(i, j)] } else { S::zero() },
+        )
     }
 
     /// Apply `Qᴴ` to `b` in place (`b` must have `nrows` rows).
@@ -343,7 +351,10 @@ mod tests {
     #[test]
     fn qr_complex_tall() {
         let a = DMat::<C64>::from_fn(8, 5, |i, j| {
-            C64::from_parts(((i * 5 + j) % 7) as f64 - 3.0, ((i + j * 3) % 5) as f64 - 2.0)
+            C64::from_parts(
+                ((i * 5 + j) % 7) as f64 - 3.0,
+                ((i + j * 3) % 5) as f64 - 2.0,
+            )
         });
         check_qr(&a, 1e-12);
     }

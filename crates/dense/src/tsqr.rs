@@ -11,8 +11,8 @@
 use crate::qr::HouseholderQr;
 use crate::tri;
 use crate::DMat;
+use kryst_rt::par::map_range;
 use kryst_scalar::Scalar;
-use rayon::prelude::*;
 
 /// Compute the `R` factor of a QR factorization of `v` using a TSQR tree over
 /// `nblocks` row blocks. Returns the `p × p` upper-triangular factor with the
@@ -26,38 +26,33 @@ pub fn tsqr_r<S: Scalar>(v: &DMat<S>, nblocks: usize) -> DMat<S> {
     let rows_per = n.div_ceil(nblocks);
 
     // Leaf factorizations (parallel).
-    let mut rs: Vec<DMat<S>> = (0..nblocks)
-        .into_par_iter()
-        .map(|b| {
-            let r0 = b * rows_per;
-            let r1 = ((b + 1) * rows_per).min(n);
-            let block = v.block(r0, 0, r1 - r0, p);
-            if r1 - r0 >= p {
-                HouseholderQr::factor(block).r()
-            } else {
-                // Short leaf: pad with zero rows so the QR is well-defined.
-                let mut padded = DMat::zeros(p, p);
-                padded.set_block(0, 0, &block);
-                HouseholderQr::factor(padded).r()
-            }
-        })
-        .collect();
+    let mut rs: Vec<DMat<S>> = map_range(nblocks, |b| {
+        let r0 = b * rows_per;
+        let r1 = ((b + 1) * rows_per).min(n);
+        let block = v.block(r0, 0, r1 - r0, p);
+        if r1 - r0 >= p {
+            HouseholderQr::factor(block).r()
+        } else {
+            // Short leaf: pad with zero rows so the QR is well-defined.
+            let mut padded = DMat::zeros(p, p);
+            padded.set_block(0, 0, &block);
+            HouseholderQr::factor(padded).r()
+        }
+    });
 
     // Pairwise tree reduction.
     while rs.len() > 1 {
-        rs = rs
-            .par_chunks(2)
-            .map(|pair| {
-                if pair.len() == 1 {
-                    pair[0].clone()
-                } else {
-                    let mut stacked = DMat::zeros(2 * p, p);
-                    stacked.set_block(0, 0, &pair[0]);
-                    stacked.set_block(p, 0, &pair[1]);
-                    HouseholderQr::factor(stacked).r()
-                }
-            })
-            .collect();
+        let npairs = rs.len().div_ceil(2);
+        rs = map_range(npairs, |i| {
+            if 2 * i + 1 >= rs.len() {
+                rs[2 * i].clone()
+            } else {
+                let mut stacked = DMat::zeros(2 * p, p);
+                stacked.set_block(0, 0, &rs[2 * i]);
+                stacked.set_block(p, 0, &rs[2 * i + 1]);
+                HouseholderQr::factor(stacked).r()
+            }
+        });
     }
     rs.pop().unwrap()
 }
@@ -77,7 +72,7 @@ pub fn tsqr_orthonormalize<S: Scalar>(v: &mut DMat<S>, nblocks: usize) -> DMat<S
 mod tests {
     use super::*;
     use crate::blas::{adjoint_times, matmul, Op};
-    use kryst_scalar::{C64, Scalar};
+    use kryst_scalar::{Scalar, C64};
 
     #[test]
     fn tsqr_r_matches_gram() {
@@ -120,7 +115,10 @@ mod tests {
     #[test]
     fn tsqr_complex() {
         let mut v = DMat::<C64>::from_fn(50, 3, |i, j| {
-            C64::from_parts(((i * 7 + j) % 13) as f64 - 6.0, ((i + 5 * j) % 9) as f64 - 4.0)
+            C64::from_parts(
+                ((i * 7 + j) % 13) as f64 - 6.0,
+                ((i + 5 * j) % 9) as f64 - 4.0,
+            )
         });
         let _r = tsqr_orthonormalize(&mut v, 3);
         let g = adjoint_times(&v, &v);

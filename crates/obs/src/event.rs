@@ -1,0 +1,244 @@
+//! Typed solver events.
+//!
+//! Every field is plain data: events must serialize to JSON-lines without
+//! external crates and compare exactly in tests. Communication counts are
+//! carried as [`CommDelta`] — the *change* in the instrumented counters
+//! since the previous event of the same solve, which is what turns the
+//! §III-D per-iteration accounting into an asserted artifact.
+
+use std::ops::{Add, AddAssign};
+
+/// Interval change of the instrumented communication counters.
+///
+/// Mirrors `kryst_par::CommSnapshot` field-for-field but represents a
+/// *delta* between two points of a solve rather than a running total (this
+/// crate sits below `kryst-par`, so the conversion lives with the caller).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommDelta {
+    /// Global reductions (all-reduce operations) in the interval.
+    pub reductions: u64,
+    /// Payload bytes reduced.
+    pub reduction_bytes: u64,
+    /// Point-to-point messages.
+    pub p2p_messages: u64,
+    /// Point-to-point payload bytes.
+    pub p2p_bytes: u64,
+    /// Local floating-point operations.
+    pub flops: u64,
+}
+
+impl Add for CommDelta {
+    type Output = CommDelta;
+    fn add(self, o: CommDelta) -> CommDelta {
+        CommDelta {
+            reductions: self.reductions + o.reductions,
+            reduction_bytes: self.reduction_bytes + o.reduction_bytes,
+            p2p_messages: self.p2p_messages + o.p2p_messages,
+            p2p_bytes: self.p2p_bytes + o.p2p_bytes,
+            flops: self.flops + o.flops,
+        }
+    }
+}
+
+impl AddAssign for CommDelta {
+    fn add_assign(&mut self, o: CommDelta) {
+        *self = *self + o;
+    }
+}
+
+/// One (block) iteration of a solver.
+#[derive(Debug, Clone)]
+pub struct IterationEvent {
+    /// Solver family: `"gmres"`, `"fgmres"`, `"lgmres"`, `"cg"`, `"bcg"`,
+    /// `"gcrodr"`, `"pseudo-gmres"`, `"pseudo-gcrodr"`, ….
+    pub solver: &'static str,
+    /// Position of this solve in a sequence of systems (GCRO-DR contexts
+    /// count their solves; standalone solvers report 0).
+    pub system_index: usize,
+    /// Restart-cycle index within the solve (0-based).
+    pub cycle: usize,
+    /// Global (block) iteration index within the solve (0-based).
+    pub iter: usize,
+    /// Per-RHS *relative* residual estimates after this iteration.
+    pub per_rhs_residuals: Vec<f64>,
+    /// Exact communication delta attributed to this iteration (measured
+    /// since the previous iteration event; the first iteration of a cycle
+    /// absorbs the cycle-start work, the last iteration of the solve
+    /// absorbs the trailing update/refresh work).
+    pub comm: CommDelta,
+    /// Orthogonalization backend in effect (`"cholqr"`, `"mgs"`, …).
+    pub orth_backend: &'static str,
+    /// Numerical rank detected by the rank-revealing orthogonalization when
+    /// it is deficient (`Some(rank) < block width`); `None` when the block
+    /// kept full rank.
+    pub breakdown_rank: Option<usize>,
+    /// Wall-clock nanoseconds since the previous iteration event.
+    pub wall_ns: u64,
+}
+
+/// What a [`SpanEvent`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Solve setup: recycle-space reuse / initial-guess correction
+    /// (GCRO-DR Fig. 1 lines 2–9).
+    Setup,
+    /// A whole restart cycle.
+    Cycle,
+    /// Restart bookkeeping between cycles.
+    Restart,
+    /// Recycle-space refresh (Fig. 1 lines 31–38).
+    RecycleRefresh,
+    /// The deflation eigenproblem (eq. (2) / eq. (3)).
+    Eigensolve,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Setup => "setup",
+            SpanKind::Cycle => "cycle",
+            SpanKind::Restart => "restart",
+            SpanKind::RecycleRefresh => "recycle-refresh",
+            SpanKind::Eigensolve => "eigensolve",
+        }
+    }
+}
+
+/// A timed phase of a solve.
+///
+/// Span deltas are measured with local snapshots and do **not** consume the
+/// iteration-delta stream: a span that contains iterations overlaps their
+/// deltas; the non-cycle spans (setup, refresh, eigensolve) contain no
+/// iterations, so their deltas are disjoint from — and asserted against —
+/// the per-iteration accounting.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Solver family (see [`IterationEvent::solver`]).
+    pub solver: &'static str,
+    /// Position in the system sequence.
+    pub system_index: usize,
+    /// Phase kind.
+    pub kind: SpanKind,
+    /// Restart-cycle index the span belongs to.
+    pub cycle: usize,
+    /// Communication performed inside the span.
+    pub comm: CommDelta,
+    /// Wall-clock nanoseconds spent in the span.
+    pub wall_ns: u64,
+}
+
+/// One preconditioner application (AMG V-cycle, Schwarz apply, …).
+#[derive(Debug, Clone)]
+pub struct PrecondApplyEvent {
+    /// Preconditioner kind: `"amg-vcycle"`, `"schwarz-asm"`, ….
+    pub kind: &'static str,
+    /// Number of right-hand-side columns in the application.
+    pub cols: usize,
+    /// Structure size: AMG levels or Schwarz subdomains.
+    pub detail: usize,
+    /// Wall-clock nanoseconds of the application.
+    pub wall_ns: u64,
+}
+
+/// One halo exchange of a distributed operator application.
+#[derive(Debug, Clone)]
+pub struct HaloEvent {
+    /// Point-to-point messages exchanged.
+    pub messages: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Right-hand-side columns moved.
+    pub cols: usize,
+    /// Wall-clock nanoseconds of the exchange + local SpMM.
+    pub wall_ns: u64,
+}
+
+/// Terminal event of a solve.
+#[derive(Debug, Clone)]
+pub struct SolveEndEvent {
+    /// Solver family.
+    pub solver: &'static str,
+    /// Position in the system sequence.
+    pub system_index: usize,
+    /// Total (block) iterations performed.
+    pub iterations: usize,
+    /// All right-hand sides reached tolerance.
+    pub converged: bool,
+    /// Final per-RHS relative residuals (true residuals).
+    pub final_relres: Vec<f64>,
+    /// Whole-solve communication totals (equals the sum of the iteration
+    /// deltas by construction).
+    pub comm_total: CommDelta,
+    /// Wall-clock nanoseconds of the whole solve.
+    pub wall_ns: u64,
+}
+
+/// The event union recorded by a [`crate::recorder::Recorder`].
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A solve is starting.
+    SolveBegin {
+        /// Solver family.
+        solver: &'static str,
+        /// Position in the system sequence.
+        system_index: usize,
+        /// Operator rows.
+        nrows: usize,
+        /// Right-hand-side columns.
+        nrhs: usize,
+        /// Restart length `m`.
+        restart: usize,
+        /// Recycle dimension `k` (0 for non-recycling solvers).
+        recycle: usize,
+    },
+    /// One (block) iteration.
+    Iteration(IterationEvent),
+    /// A timed solve phase.
+    Span(SpanEvent),
+    /// A preconditioner application.
+    PrecondApply(PrecondApplyEvent),
+    /// A halo exchange.
+    Halo(HaloEvent),
+    /// A solve finished.
+    SolveEnd(SolveEndEvent),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_delta_adds_fieldwise() {
+        let a = CommDelta {
+            reductions: 1,
+            reduction_bytes: 8,
+            p2p_messages: 2,
+            p2p_bytes: 64,
+            flops: 100,
+        };
+        let b = CommDelta {
+            reductions: 3,
+            reduction_bytes: 16,
+            p2p_messages: 1,
+            p2p_bytes: 32,
+            flops: 50,
+        };
+        let c = a + b;
+        assert_eq!(c.reductions, 4);
+        assert_eq!(c.reduction_bytes, 24);
+        assert_eq!(c.p2p_messages, 3);
+        assert_eq!(c.p2p_bytes, 96);
+        assert_eq!(c.flops, 150);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn span_kind_names_are_stable() {
+        assert_eq!(SpanKind::Setup.name(), "setup");
+        assert_eq!(SpanKind::RecycleRefresh.name(), "recycle-refresh");
+        assert_eq!(SpanKind::Eigensolve.name(), "eigensolve");
+    }
+}

@@ -1,0 +1,477 @@
+//! Dependency-free JSON: event serialization and a small value parser.
+//!
+//! The offline build cannot use serde, and the trace format is simple
+//! enough not to need it: every event is one flat JSON object per line.
+//! The parser handles the full JSON grammar (objects, arrays, strings with
+//! escapes, numbers, booleans, null) — enough to read traces back and to
+//! compare golden snapshots.
+
+use crate::event::{CommDelta, Event};
+use std::fmt::Write as _;
+
+/// Serialize an event as a single-line JSON object (no trailing newline).
+pub fn event_to_json(ev: &Event) -> String {
+    let mut s = String::with_capacity(160);
+    match ev {
+        Event::SolveBegin {
+            solver,
+            system_index,
+            nrows,
+            nrhs,
+            restart,
+            recycle,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"solve_begin\",\"solver\":\"{solver}\",\"system_index\":{system_index},\
+                 \"nrows\":{nrows},\"nrhs\":{nrhs},\"restart\":{restart},\"recycle\":{recycle}}}"
+            );
+        }
+        Event::Iteration(it) => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"iteration\",\"solver\":\"{}\",\"system_index\":{},\"cycle\":{},\"iter\":{},\
+                 \"per_rhs_residuals\":{},",
+                it.solver,
+                it.system_index,
+                it.cycle,
+                it.iter,
+                f64_array(&it.per_rhs_residuals),
+            );
+            push_comm_fields(&mut s, &it.comm);
+            let _ = write!(s, ",\"orth_backend\":\"{}\"", it.orth_backend);
+            match it.breakdown_rank {
+                Some(r) => {
+                    let _ = write!(s, ",\"breakdown_rank\":{r}");
+                }
+                None => s.push_str(",\"breakdown_rank\":null"),
+            }
+            let _ = write!(s, ",\"wall_ns\":{}}}", it.wall_ns);
+        }
+        Event::Span(sp) => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"span\",\"solver\":\"{}\",\"system_index\":{},\"kind\":\"{}\",\"cycle\":{},",
+                sp.solver,
+                sp.system_index,
+                sp.kind.name(),
+                sp.cycle,
+            );
+            push_comm_fields(&mut s, &sp.comm);
+            let _ = write!(s, ",\"wall_ns\":{}}}", sp.wall_ns);
+        }
+        Event::PrecondApply(pa) => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"precond_apply\",\"kind\":\"{}\",\"cols\":{},\"detail\":{},\"wall_ns\":{}}}",
+                pa.kind, pa.cols, pa.detail, pa.wall_ns
+            );
+        }
+        Event::Halo(h) => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"halo\",\"messages\":{},\"bytes\":{},\"cols\":{},\"wall_ns\":{}}}",
+                h.messages, h.bytes, h.cols, h.wall_ns
+            );
+        }
+        Event::SolveEnd(e) => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"solve_end\",\"solver\":\"{}\",\"system_index\":{},\"iterations\":{},\
+                 \"converged\":{},\"final_relres\":{},",
+                e.solver,
+                e.system_index,
+                e.iterations,
+                e.converged,
+                f64_array(&e.final_relres),
+            );
+            push_comm_total_fields(&mut s, &e.comm_total);
+            let _ = write!(s, ",\"wall_ns\":{}}}", e.wall_ns);
+        }
+    }
+    s
+}
+
+fn push_comm_fields(s: &mut String, c: &CommDelta) {
+    let _ = write!(
+        s,
+        "\"reductions_delta\":{},\"reduction_bytes_delta\":{},\"p2p_delta\":{},\
+         \"p2p_bytes_delta\":{},\"flops_delta\":{}",
+        c.reductions, c.reduction_bytes, c.p2p_messages, c.p2p_bytes, c.flops
+    );
+}
+
+fn push_comm_total_fields(s: &mut String, c: &CommDelta) {
+    let _ = write!(
+        s,
+        "\"reductions_total\":{},\"reduction_bytes_total\":{},\"p2p_total\":{},\
+         \"p2p_bytes_total\":{},\"flops_total\":{}",
+        c.reductions, c.reduction_bytes, c.p2p_messages, c.p2p_bytes, c.flops
+    );
+}
+
+/// Render a float array with enough digits to round-trip `f64`.
+pub fn f64_array(v: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}", fmt_f64(*x));
+    }
+    s.push(']');
+    s
+}
+
+/// One float, JSON-compatible (`NaN`/`inf` become `null` — JSON has no
+/// representation for them and traces should stay parseable).
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        // {:?} prints the shortest representation that round-trips.
+        format!("{x:?}")
+    } else {
+        "null".into()
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also produced for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document.
+    pub fn parse(src: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            b: src.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer value, if this is a whole number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as usize),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.keyword("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.i
+            )),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.i..].starts_with(kw.as_bytes()) {
+            self.i += kw.len();
+            Ok(v)
+        } else {
+            Err(format!("bad keyword at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .map(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+            .unwrap_or(false)
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{IterationEvent, SolveEndEvent};
+
+    #[test]
+    fn iteration_event_round_trips_through_json() {
+        let ev = Event::Iteration(IterationEvent {
+            solver: "gmres",
+            system_index: 2,
+            cycle: 1,
+            iter: 37,
+            per_rhs_residuals: vec![1.5e-3, 0.25],
+            comm: CommDelta {
+                reductions: 3,
+                reduction_bytes: 72,
+                p2p_messages: 14,
+                p2p_bytes: 4096,
+                flops: 12345,
+            },
+            orth_backend: "cholqr",
+            breakdown_rank: Some(1),
+            wall_ns: 9876,
+        });
+        let line = event_to_json(&ev);
+        let v = JsonValue::parse(&line).expect("parse back");
+        assert_eq!(v.get("type").unwrap().as_str(), Some("iteration"));
+        assert_eq!(v.get("solver").unwrap().as_str(), Some("gmres"));
+        assert_eq!(v.get("cycle").unwrap().as_usize(), Some(1));
+        assert_eq!(v.get("iter").unwrap().as_usize(), Some(37));
+        assert_eq!(v.get("reductions_delta").unwrap().as_usize(), Some(3));
+        assert_eq!(v.get("p2p_delta").unwrap().as_usize(), Some(14));
+        assert_eq!(v.get("breakdown_rank").unwrap().as_usize(), Some(1));
+        let res = v.get("per_rhs_residuals").unwrap().as_array().unwrap();
+        assert_eq!(res[0].as_f64(), Some(1.5e-3));
+        assert_eq!(res[1].as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn solve_end_round_trips() {
+        let ev = Event::SolveEnd(SolveEndEvent {
+            solver: "gcrodr",
+            system_index: 1,
+            iterations: 42,
+            converged: true,
+            final_relres: vec![1e-9],
+            comm_total: CommDelta {
+                reductions: 100,
+                ..Default::default()
+            },
+            wall_ns: 1,
+        });
+        let v = JsonValue::parse(&event_to_json(&ev)).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("solve_end"));
+        assert_eq!(v.get("converged").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("reductions_total").unwrap().as_usize(), Some(100));
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_numbers() {
+        let v =
+            JsonValue::parse(r#"{"a": [1, -2.5e3, null, true], "s": "x\"\nA", "o": {"k": false}}"#)
+                .unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2], JsonValue::Null);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\"\nA"));
+        assert_eq!(v.get("o").unwrap().get("k").unwrap().as_bool(), Some(false));
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        #[allow(clippy::excessive_precision)] // extra digits exercise shortest-round-trip printing
+        for x in [0.1, 1.0 / 3.0, 1e-300, 123456789.123456789, -0.0] {
+            let s = fmt_f64(x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {s}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! `kryst-obs` — the solver observability layer.
+//!
+//! The paper's scalability argument (§III-D) is a *counting* argument:
+//! reductions, messages, and bytes per iteration. This crate makes those
+//! counts first-class, machine-readable artifacts instead of end-of-run
+//! totals:
+//!
+//! * [`event::Event`] — typed events: one [`event::IterationEvent`] per
+//!   (block) iteration carrying exact communication **deltas**, solve-level
+//!   spans (setup / restart / recycle-refresh / eigensolve), preconditioner
+//!   applications, halo exchanges, and solve begin/end markers;
+//! * [`recorder::Recorder`] — the pluggable sink trait. The
+//!   [`recorder::NullRecorder`] reports `enabled() == false` so the hot
+//!   path skips event construction entirely; the
+//!   [`recorder::RingRecorder`] buffers events in memory for tests; the
+//!   [`recorder::JsonlRecorder`] streams JSON-lines traces for the bench
+//!   binaries;
+//! * [`json`] — a dependency-free JSON writer/parser (the registry is
+//!   offline, so no serde) used for traces and the golden-trace snapshots;
+//! * [`view`] — read-side helpers turning an event stream back into the
+//!   per-RHS convergence histories and cumulative communication totals the
+//!   conformance tests assert on.
+//!
+//! The invariant the conformance suite leans on: for a single solve, the
+//! sum of `IterationEvent` communication deltas equals the solve's total
+//! [`CommDelta`] — deltas are *measured* between consecutive events, and
+//! the trailing work after the last iteration is folded into that last
+//! event by the emitting solver.
+
+pub mod event;
+pub mod json;
+pub mod recorder;
+pub mod view;
+
+pub use event::{
+    CommDelta, Event, HaloEvent, IterationEvent, PrecondApplyEvent, SolveEndEvent, SpanEvent,
+    SpanKind,
+};
+pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder};
+pub use view::{cumulative_comm, history, iteration_events, spans_of};

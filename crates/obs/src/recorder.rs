@@ -1,0 +1,184 @@
+//! Pluggable event sinks.
+
+use crate::event::Event;
+use crate::json::event_to_json;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// An event sink. Implementations must be cheap to call and thread-safe —
+/// solvers may emit from worker threads (pseudo-block drivers).
+pub trait Recorder: Send + Sync {
+    /// Whether events should be constructed at all. The hot path checks
+    /// this once per emission site; the [`NullRecorder`] returns `false`
+    /// so a wired-but-disabled solver pays one virtual call and no
+    /// allocation.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn record(&self, ev: &Event);
+}
+
+/// Discards everything; `enabled()` is `false` so emitters skip event
+/// construction entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _ev: &Event) {}
+}
+
+/// Bounded in-memory buffer (oldest events dropped past capacity) — the
+/// test-suite sink.
+pub struct RingRecorder {
+    buf: Mutex<VecDeque<Event>>,
+    cap: usize,
+}
+
+impl RingRecorder {
+    /// Ring holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            buf: Mutex::new(VecDeque::with_capacity(cap.min(4096))),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Copy out the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&self) {
+        self.buf.lock().unwrap().clear();
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, ev: &Event) {
+        let mut b = self.buf.lock().unwrap();
+        if b.len() == self.cap {
+            b.pop_front();
+        }
+        b.push_back(ev.clone());
+    }
+}
+
+/// Streams events as JSON-lines to a file — the bench-binary sink.
+pub struct JsonlRecorder {
+    w: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl JsonlRecorder {
+    /// Create/truncate `path` and stream events to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(Self {
+            w: Mutex::new(BufWriter::new(f)),
+        })
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.w.lock().unwrap().flush()
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, ev: &Event) {
+        let line = event_to_json(ev);
+        let mut w = self.w.lock().unwrap();
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.w.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CommDelta, IterationEvent};
+
+    fn iter_ev(i: usize) -> Event {
+        Event::Iteration(IterationEvent {
+            solver: "gmres",
+            system_index: 0,
+            cycle: 0,
+            iter: i,
+            per_rhs_residuals: vec![1.0 / (i + 1) as f64],
+            comm: CommDelta::default(),
+            orth_backend: "cholqr",
+            breakdown_rank: None,
+            wall_ns: 0,
+        })
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let r = RingRecorder::new(3);
+        for i in 0..5 {
+            r.record(&iter_ev(i));
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 3);
+        match &evs[0] {
+            Event::Iteration(it) => assert_eq!(it.iter, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn null_recorder_reports_disabled() {
+        let n = NullRecorder;
+        assert!(!Recorder::enabled(&n));
+        n.record(&iter_ev(0)); // must be a no-op
+    }
+
+    #[test]
+    fn jsonl_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("kryst_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace_{}.jsonl", std::process::id()));
+        {
+            let r = JsonlRecorder::create(&path).unwrap();
+            r.record(&iter_ev(0));
+            r.record(&iter_ev(1));
+            r.flush().unwrap();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = crate::json::JsonValue::parse(line).unwrap();
+            assert_eq!(v.get("type").unwrap().as_str(), Some("iteration"));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,101 @@
+//! Read-side helpers over an event stream.
+//!
+//! The solvers' per-RHS convergence histories are *views* over the
+//! iteration events — the same data the conformance tests assert on, so
+//! history and accounting can never drift apart.
+
+use crate::event::{CommDelta, Event, IterationEvent, SpanEvent, SpanKind};
+
+/// The iteration events of a stream, in order.
+pub fn iteration_events(events: &[Event]) -> Vec<&IterationEvent> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Iteration(it) => Some(it),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Per-iteration, per-RHS relative residuals — the convergence curves of
+/// the paper's Figs. 2–4, reconstructed from the events.
+pub fn history(events: &[Event]) -> Vec<Vec<f64>> {
+    iteration_events(events)
+        .into_iter()
+        .map(|it| it.per_rhs_residuals.clone())
+        .collect()
+}
+
+/// Sum of the iteration deltas — equals the solve's total communication
+/// when the stream covers one whole solve.
+pub fn cumulative_comm(events: &[Event]) -> CommDelta {
+    iteration_events(events)
+        .into_iter()
+        .fold(CommDelta::default(), |acc, it| acc + it.comm)
+}
+
+/// The span events of a given kind, in order.
+pub fn spans_of(events: &[Event], kind: SpanKind) -> Vec<&SpanEvent> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span(sp) if sp.kind == kind => Some(sp),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn it(iter: usize, reds: u64, res: f64) -> Event {
+        Event::Iteration(IterationEvent {
+            solver: "gmres",
+            system_index: 0,
+            cycle: 0,
+            iter,
+            per_rhs_residuals: vec![res],
+            comm: CommDelta {
+                reductions: reds,
+                ..Default::default()
+            },
+            orth_backend: "cholqr",
+            breakdown_rank: None,
+            wall_ns: 0,
+        })
+    }
+
+    #[test]
+    fn history_and_cumulative_views() {
+        let evs = vec![
+            Event::SolveBegin {
+                solver: "gmres",
+                system_index: 0,
+                nrows: 10,
+                nrhs: 1,
+                restart: 5,
+                recycle: 0,
+            },
+            it(0, 4, 0.5),
+            it(1, 3, 0.25),
+            Event::Span(SpanEvent {
+                solver: "gmres",
+                system_index: 0,
+                kind: SpanKind::Restart,
+                cycle: 0,
+                comm: CommDelta {
+                    reductions: 99,
+                    ..Default::default()
+                },
+                wall_ns: 0,
+            }),
+            it(2, 3, 0.125),
+        ];
+        assert_eq!(history(&evs), vec![vec![0.5], vec![0.25], vec![0.125]]);
+        // Span deltas are informational and do not enter the cumulative sum.
+        assert_eq!(cumulative_comm(&evs).reductions, 10);
+        assert_eq!(spans_of(&evs, SpanKind::Restart).len(), 1);
+        assert!(spans_of(&evs, SpanKind::Eigensolve).is_empty());
+    }
+}

@@ -44,21 +44,24 @@ impl CommStats {
     #[inline]
     pub fn record_reduction(&self, bytes: usize) {
         self.reductions.fetch_add(1, Ordering::Relaxed);
-        self.reduction_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.reduction_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Record `count` fused reductions (e.g. a batched convergence check).
     #[inline]
     pub fn record_reductions(&self, count: usize, bytes: usize) {
         self.reductions.fetch_add(count as u64, Ordering::Relaxed);
-        self.reduction_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.reduction_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Record a halo exchange: `messages` point-to-point sends moving `bytes`
     /// in total.
     #[inline]
     pub fn record_p2p(&self, messages: usize, bytes: usize) {
-        self.p2p_messages.fetch_add(messages as u64, Ordering::Relaxed);
+        self.p2p_messages
+            .fetch_add(messages as u64, Ordering::Relaxed);
         self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
@@ -100,6 +103,65 @@ impl CommSnapshot {
             flops: self.flops - earlier.flops,
         }
     }
+
+    /// Convert to an observability delta (field-for-field).
+    pub fn to_delta(&self) -> kryst_obs::CommDelta {
+        kryst_obs::CommDelta {
+            reductions: self.reductions,
+            reduction_bytes: self.reduction_bytes,
+            p2p_messages: self.p2p_messages,
+            p2p_bytes: self.p2p_bytes,
+            flops: self.flops,
+        }
+    }
+}
+
+/// Interval sampler over a [`CommStats`]: each [`CommInterval::take`] returns
+/// the counter change since the previous `take` (or construction) and
+/// advances the mark. This is how solvers attribute exact communication
+/// deltas to individual iteration events.
+#[derive(Debug, Clone)]
+pub struct CommInterval {
+    stats: Option<Arc<CommStats>>,
+    last: CommSnapshot,
+}
+
+impl CommInterval {
+    /// Start an interval sampler at the counters' current values. `None`
+    /// yields all-zero deltas (solvers run untracked).
+    pub fn start(stats: Option<Arc<CommStats>>) -> Self {
+        let last = stats.as_ref().map(|s| s.snapshot()).unwrap_or_default();
+        Self { stats, last }
+    }
+
+    /// Counter change since the previous `take` (advances the mark).
+    pub fn take(&mut self) -> CommSnapshot {
+        match &self.stats {
+            Some(s) => {
+                let now = s.snapshot();
+                let d = now.since(&self.last);
+                self.last = now;
+                d
+            }
+            None => CommSnapshot::default(),
+        }
+    }
+
+    /// Counter change since the previous `take`, without advancing.
+    pub fn peek(&self) -> CommSnapshot {
+        match &self.stats {
+            Some(s) => s.snapshot().since(&self.last),
+            None => CommSnapshot::default(),
+        }
+    }
+
+    /// Current absolute counter values.
+    pub fn now(&self) -> CommSnapshot {
+        self.stats
+            .as_ref()
+            .map(|s| s.snapshot())
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +195,27 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.reductions, 1);
         assert_eq!(d.p2p_messages, 1);
+    }
+
+    #[test]
+    fn interval_take_partitions_the_counter_stream() {
+        let s = CommStats::new_shared();
+        let mut iv = CommInterval::start(Some(Arc::clone(&s)));
+        s.record_reductions(3, 24);
+        let d1 = iv.take();
+        assert_eq!(d1.reductions, 3);
+        s.record_reduction(8);
+        s.record_p2p(2, 128);
+        assert_eq!(iv.peek().reductions, 1);
+        let d2 = iv.take();
+        assert_eq!(d2.reductions, 1);
+        assert_eq!(d2.p2p_messages, 2);
+        // Deltas tile the stream: their sum is the absolute total.
+        assert_eq!(d1.reductions + d2.reductions, s.snapshot().reductions);
+        assert_eq!(iv.take(), CommSnapshot::default());
+        // Untracked sampler yields zeros.
+        let mut none = CommInterval::start(None);
+        assert_eq!(none.take(), CommSnapshot::default());
     }
 
     #[test]

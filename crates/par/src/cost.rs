@@ -58,7 +58,11 @@ impl CostModel {
         let p2p = (snap.p2p_messages as f64 / p) * self.alpha_msg
             + (snap.p2p_bytes as f64 / p) / self.beta;
         let compute = snap.flops as f64 / (self.gamma * p);
-        ModeledTime { compute, reduction, p2p }
+        ModeledTime {
+            compute,
+            reduction,
+            p2p,
+        }
     }
 }
 

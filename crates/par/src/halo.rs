@@ -6,9 +6,11 @@
 //! exchange, and how many entries — so the instrumented operator can report
 //! exact message/byte counts to the cost model.
 
+#![allow(clippy::needless_range_loop)] // index loops mirror the BLAS/LAPACK reference forms
+
 use crate::Layout;
-use kryst_sparse::Csr;
 use kryst_scalar::Scalar;
+use kryst_sparse::Csr;
 
 /// Communication plan for one distributed operator.
 #[derive(Debug, Clone)]
@@ -55,7 +57,11 @@ impl HaloPlan {
                 entries += cnt;
             }
         }
-        Self { recv, messages_per_exchange: messages, entries_per_exchange: entries }
+        Self {
+            recv,
+            messages_per_exchange: messages,
+            entries_per_exchange: entries,
+        }
     }
 
     /// Bytes moved by one exchange of a `p`-wide multivector with

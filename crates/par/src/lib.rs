@@ -30,8 +30,8 @@ pub mod layout;
 pub mod op;
 pub mod spmd;
 
-pub use comm::{CommStats, CommSnapshot};
+pub use comm::{CommInterval, CommSnapshot, CommStats};
 pub use cost::{CostModel, ModeledTime};
-pub use layout::Layout;
 pub use halo::HaloPlan;
+pub use layout::Layout;
 pub use op::{DistOp, IdentityPrecond, LinOp, PrecondOp, ProjectedOp};

@@ -8,10 +8,11 @@
 use crate::halo::HaloPlan;
 use crate::{CommStats, Layout};
 use kryst_dense::DMat;
+use kryst_obs::{Event, HaloEvent, Recorder};
 use kryst_scalar::Scalar;
 use kryst_sparse::Csr;
 use std::sync::Arc;
-
+use std::time::Instant;
 
 /// A linear operator `y = A·x` acting on multivectors.
 pub trait LinOp<S: Scalar>: Send + Sync {
@@ -89,6 +90,7 @@ pub struct DistOp<S> {
     layout: Layout,
     plan: HaloPlan,
     stats: Arc<CommStats>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl<S: Scalar> DistOp<S> {
@@ -97,7 +99,25 @@ impl<S: Scalar> DistOp<S> {
     pub fn new(a: Csr<S>, nranks: usize, stats: Arc<CommStats>) -> Self {
         let layout = Layout::even(a.nrows(), nranks);
         let plan = HaloPlan::build(&a, &layout);
-        Self { a, layout, plan, stats }
+        Self {
+            a,
+            layout,
+            plan,
+            stats,
+            recorder: None,
+        }
+    }
+
+    /// Attach an event recorder: every `apply` emits a [`HaloEvent`]
+    /// describing the halo exchange the distributed SpMM performs.
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        self.recorder = if rec.enabled() { Some(rec) } else { None };
+    }
+
+    /// Builder-style variant of [`DistOp::set_recorder`].
+    pub fn with_recorder(mut self, rec: Arc<dyn Recorder>) -> Self {
+        self.set_recorder(rec);
+        self
     }
 
     /// The wrapped matrix.
@@ -130,16 +150,24 @@ impl<S: Scalar> LinOp<S> for DistOp<S> {
         self.a.nrows()
     }
     fn apply(&self, x: &DMat<S>, y: &mut DMat<S>) {
+        let t0 = Instant::now();
         let p = x.ncols();
-        self.stats.record_p2p(
-            self.plan.messages_per_exchange,
-            self.plan.bytes_per_exchange(p, Self::bytes_per_scalar()),
-        );
+        let bytes = self.plan.bytes_per_exchange(p, Self::bytes_per_scalar());
+        self.stats
+            .record_p2p(self.plan.messages_per_exchange, bytes);
         // 2 flops per stored nonzero per RHS column (multiply–add); complex
         // scalars cost 4× the real multiply–add.
         let flop_scale = if S::is_complex() { 4 } else { 1 };
         self.stats.record_flops(2 * self.a.nnz() * p * flop_scale);
         self.a.spmm(x, y);
+        if let Some(rec) = &self.recorder {
+            rec.record(&Event::Halo(HaloEvent {
+                messages: self.plan.messages_per_exchange as u64,
+                bytes: bytes as u64,
+                cols: p,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            }));
+        }
     }
 }
 
@@ -165,7 +193,7 @@ impl<S: Scalar> LinOp<S> for ProjectedOp<'_, S> {
         // y ⟵ y − C·(Cᴴ·y): one fused reduction for the Gram product.
         let coeff = kryst_dense::blas::adjoint_times(self.c, y);
         if let Some(st) = self.stats {
-            st.record_reduction(coeff.as_slice().len() * std::mem::size_of::<S>());
+            st.record_reduction(std::mem::size_of_val(coeff.as_slice()));
         }
         kryst_dense::blas::gemm(
             -S::one(),
@@ -227,7 +255,11 @@ mod tests {
         c[(0, 0)] = 1.0;
         c[(5, 1)] = 1.0;
         let stats = CommStats::default();
-        let op = ProjectedOp { inner: &a, c: &c, stats: Some(&stats) };
+        let op = ProjectedOp {
+            inner: &a,
+            c: &c,
+            stats: Some(&stats),
+        };
         let x = DMat::from_fn(30, 1, |i, _| 1.0 + i as f64);
         let y = op.apply_new(&x);
         // Cᴴ y = 0.

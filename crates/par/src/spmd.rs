@@ -1,13 +1,13 @@
 //! A real SPMD mini-executor: ranks as threads, messages as channels.
 //!
 //! This is *not* on the hot path — the production kernels use the sharded
-//! rayon execution with counted communication. The executor exists to
+//! scoped-thread execution with counted communication. The executor exists to
 //! validate that semantics: tests run the same reduction/halo pattern through
 //! genuine message passing and check the results (and message counts) agree
 //! with the instrumented sequential execution.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// Handle given to each rank's closure.
@@ -18,7 +18,7 @@ pub struct RankCtx {
     senders: Vec<Sender<Vec<f64>>>,
     receivers: Vec<Receiver<Vec<f64>>>,
     barrier: Arc<std::sync::Barrier>,
-    msg_count: Arc<Mutex<u64>>,
+    msg_count: Arc<AtomicU64>,
 }
 
 impl RankCtx {
@@ -34,7 +34,7 @@ impl RankCtx {
 
     /// Point-to-point send of a payload to `dst`.
     pub fn send(&self, dst: usize, payload: Vec<f64>) {
-        *self.msg_count.lock() += 1;
+        self.msg_count.fetch_add(1, Ordering::Relaxed);
         self.senders[dst].send(payload).expect("peer alive");
     }
 
@@ -55,7 +55,7 @@ impl RankCtx {
             if r % (2 * step) == step {
                 // Sender this stage.
                 self.send(r - step, local.clone());
-            } else if r % (2 * step) == 0 && r + step < p {
+            } else if r.is_multiple_of(2 * step) && r + step < p {
                 let other = self.recv(r + step);
                 for (a, b) in local.iter_mut().zip(&other) {
                     *a += *b;
@@ -66,7 +66,7 @@ impl RankCtx {
         // Broadcast down.
         step /= 2;
         while step >= 1 {
-            if r % (2 * step) == 0 && r + step < p {
+            if r.is_multiple_of(2 * step) && r + step < p {
                 self.send(r + step, local.clone());
             } else if r % (2 * step) == step {
                 local = self.recv(r - step);
@@ -91,28 +91,25 @@ pub fn run<T: Send>(nranks: usize, f: impl Fn(&RankCtx) -> T + Sync) -> (Vec<T>,
     assert!(nranks >= 1);
     // Channel mesh: chans[src][dst].
     let mut senders: Vec<Vec<Sender<Vec<f64>>>> = Vec::with_capacity(nranks);
-    let mut receivers: Vec<Vec<Option<Receiver<Vec<f64>>>>> =
-        (0..nranks).map(|_| (0..nranks).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Vec<f64>>>>> = (0..nranks)
+        .map(|_| (0..nranks).map(|_| None).collect())
+        .collect();
     for src in 0..nranks {
         let mut row = Vec::with_capacity(nranks);
-        for dst in 0..nranks {
-            let (s, r) = unbounded();
+        for receiver_row in receivers.iter_mut() {
+            let (s, r) = channel();
             row.push(s);
-            receivers[dst][src] = Some(r);
+            receiver_row[src] = Some(r);
         }
         senders.push(row);
     }
     let barrier = Arc::new(std::sync::Barrier::new(nranks));
-    let msg_count = Arc::new(Mutex::new(0u64));
+    let msg_count = Arc::new(AtomicU64::new(0));
 
     let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (rank, (sends, recvs)) in senders
-            .into_iter()
-            .zip(receivers.into_iter())
-            .enumerate()
-        {
+        for (rank, (sends, recvs)) in senders.into_iter().zip(receivers).enumerate() {
             let recvs: Vec<Receiver<Vec<f64>>> = recvs.into_iter().map(Option::unwrap).collect();
             let ctx = RankCtx {
                 rank,
@@ -129,7 +126,7 @@ pub fn run<T: Send>(nranks: usize, f: impl Fn(&RankCtx) -> T + Sync) -> (Vec<T>,
             results[rank] = Some(h.join().expect("rank panicked"));
         }
     });
-    let count = *msg_count.lock();
+    let count = msg_count.load(Ordering::Relaxed);
     (results.into_iter().map(Option::unwrap).collect(), count)
 }
 

@@ -27,10 +27,26 @@ pub struct Inclusion {
 /// The paper's four inclusion parameter sets
 /// (`{s_i}, {r_i}, {x_i}, {y_i}, {z_i}` of §IV-C).
 pub const PAPER_INCLUSIONS: [Inclusion; 4] = [
-    Inclusion { stiffness_ratio: 30.0, r: 0.5, center: [0.5, 0.5, 0.5] },
-    Inclusion { stiffness_ratio: 0.1, r: 0.45, center: [0.4, 0.5, 0.45] },
-    Inclusion { stiffness_ratio: 20.0, r: 0.4, center: [0.4, 0.4, 0.4] },
-    Inclusion { stiffness_ratio: 10.0, r: 0.35, center: [0.4, 0.4, 0.35] },
+    Inclusion {
+        stiffness_ratio: 30.0,
+        r: 0.5,
+        center: [0.5, 0.5, 0.5],
+    },
+    Inclusion {
+        stiffness_ratio: 0.1,
+        r: 0.45,
+        center: [0.4, 0.5, 0.45],
+    },
+    Inclusion {
+        stiffness_ratio: 20.0,
+        r: 0.4,
+        center: [0.4, 0.4, 0.4],
+    },
+    Inclusion {
+        stiffness_ratio: 10.0,
+        r: 0.35,
+        center: [0.4, 0.4, 0.35],
+    },
 ];
 
 /// Assembly options.
@@ -51,7 +67,13 @@ pub struct ElasticityOpts {
 
 impl Default for ElasticityOpts {
     fn default() -> Self {
-        Self { ne: 8, e_modulus: 1.0, poisson: 0.3, inclusion: None, clamp_bottom: true }
+        Self {
+            ne: 8,
+            e_modulus: 1.0,
+            poisson: 0.3,
+            inclusion: None,
+            clamp_bottom: true,
+        }
     }
 }
 
@@ -162,7 +184,7 @@ pub fn elasticity3d<S: Scalar>(opts: &ElasticityOpts) -> ElasticityProblem<S> {
 
     let mut coo = Coo::with_capacity(free, free, 24 * 24 * ne * ne * ne / 2);
     let mut rhs = vec![S::zero(); free];
-    let grav = -1.0 * h * h * h / 8.0; // lumped gravity load per element node
+    let grav = -(h * h * h) / 8.0; // lumped gravity load per element node
     for ez in 0..ne {
         for ey in 0..ne {
             for ex in 0..ne {
@@ -244,7 +266,14 @@ pub fn elasticity3d<S: Scalar>(opts: &ElasticityOpts) -> ElasticityProblem<S> {
         }
     }
 
-    ElasticityProblem { problem: Problem { a, coords, near_nullspace: Some(ns) }, rhs }
+    ElasticityProblem {
+        problem: Problem {
+            a,
+            coords,
+            near_nullspace: Some(ns),
+        },
+        rhs,
+    }
 }
 
 /// The paper's sequence of four slowly-varying systems (shared `ne`,
@@ -253,7 +282,11 @@ pub fn paper_sequence<S: Scalar>(ne: usize) -> Vec<ElasticityProblem<S>> {
     PAPER_INCLUSIONS
         .iter()
         .map(|inc| {
-            elasticity3d(&ElasticityOpts { ne, inclusion: Some(*inc), ..Default::default() })
+            elasticity3d(&ElasticityOpts {
+                ne,
+                inclusion: Some(*inc),
+                ..Default::default()
+            })
         })
         .collect()
 }
@@ -264,7 +297,10 @@ mod tests {
 
     #[test]
     fn matrix_is_symmetric() {
-        let p = elasticity3d::<f64>(&ElasticityOpts { ne: 3, ..Default::default() });
+        let p = elasticity3d::<f64>(&ElasticityOpts {
+            ne: 3,
+            ..Default::default()
+        });
         let a = &p.problem.a;
         for i in 0..a.nrows() {
             for &j in a.row_indices(i) {
@@ -296,17 +332,26 @@ mod tests {
 
     #[test]
     fn clamped_operator_is_spd() {
-        let p = elasticity3d::<f64>(&ElasticityOpts { ne: 2, ..Default::default() });
+        let p = elasticity3d::<f64>(&ElasticityOpts {
+            ne: 2,
+            ..Default::default()
+        });
         // SPD ⟺ Cholesky of the dense mirror succeeds.
         let n = p.problem.a.nrows();
         let d = kryst_dense::DMat::from_fn(n, n, |i, j| p.problem.a.get(i, j));
-        assert!(kryst_dense::chol::cholesky(&d).is_some(), "clamped elasticity not SPD");
+        assert!(
+            kryst_dense::chol::cholesky(&d).is_some(),
+            "clamped elasticity not SPD"
+        );
     }
 
     #[test]
     fn gravity_pushes_down() {
         use kryst_sparse::SparseDirect;
-        let p = elasticity3d::<f64>(&ElasticityOpts { ne: 4, ..Default::default() });
+        let p = elasticity3d::<f64>(&ElasticityOpts {
+            ne: 4,
+            ..Default::default()
+        });
         let f = SparseDirect::factor(&p.problem.a).expect("SPD system");
         let u = f.solve_one(&p.rhs);
         // Mean vertical displacement must be negative (downward).
@@ -326,10 +371,17 @@ mod tests {
     #[test]
     fn soft_inclusion_increases_compliance() {
         use kryst_sparse::SparseDirect;
-        let hard = elasticity3d::<f64>(&ElasticityOpts { ne: 4, ..Default::default() });
+        let hard = elasticity3d::<f64>(&ElasticityOpts {
+            ne: 4,
+            ..Default::default()
+        });
         let soft = elasticity3d::<f64>(&ElasticityOpts {
             ne: 4,
-            inclusion: Some(Inclusion { stiffness_ratio: 30.0, r: 0.3, center: [0.5, 0.5, 0.5] }),
+            inclusion: Some(Inclusion {
+                stiffness_ratio: 30.0,
+                r: 0.3,
+                center: [0.5, 0.5, 0.5],
+            }),
             ..Default::default()
         });
         let fh = SparseDirect::factor(&hard.problem.a).unwrap();

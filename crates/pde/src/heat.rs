@@ -44,7 +44,15 @@ impl<S: Scalar> HeatSequence<S> {
             let d2 = (c[0] - 0.25).powi(2) + (c[1] - 0.25).powi(2);
             state[k] = S::from_f64((-d2 / 0.02).exp());
         }
-        Self { a: a.clone(), problem: Problem { a, ..problem }, dt, nx, ny, state, step: 0 }
+        Self {
+            a: a.clone(),
+            problem: Problem { a, ..problem },
+            dt,
+            nx,
+            ny,
+            state,
+            step: 0,
+        }
     }
 
     /// Problem size.

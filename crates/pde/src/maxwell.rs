@@ -14,9 +14,9 @@
 //! (§V-C uses one ring of 32).
 
 use crate::Problem;
+use kryst_dense::DMat;
 use kryst_scalar::{Complex, C64};
 use kryst_sparse::{ops, Coo, Csr};
-use kryst_dense::DMat;
 
 /// Medium description at a point: relative permittivity and conductivity.
 pub type Medium = fn(f64, f64, f64, &MaxwellParams) -> (f64, f64);
@@ -159,7 +159,15 @@ impl MaxwellGeom {
                 }
             }
         }
-        Self { nc, h, edge_coords, edge_dir, ex_id, ey_id, ez_id }
+        Self {
+            nc,
+            h,
+            edge_coords,
+            edge_dir,
+            ex_id,
+            ey_id,
+            ez_id,
+        }
     }
 
     /// Number of unknowns.
@@ -320,7 +328,14 @@ pub fn maxwell3d(params: &MaxwellParams) -> (Problem<C64>, MaxwellGeom) {
         .collect();
     a = ops::add(&a, &Csr::from_diag(&kappa));
     let coords = geom.edge_coords.iter().map(|p| p.to_vec()).collect();
-    (Problem { a, coords, near_nullspace: None }, geom)
+    (
+        Problem {
+            a,
+            coords,
+            near_nullspace: None,
+        },
+        geom,
+    )
 }
 
 /// Right-hand sides for a ring of `p` antennas at height `ring_z`,
@@ -336,7 +351,11 @@ pub fn antenna_ring_rhs(
     let mut rhs = DMat::zeros(geom.nedges(), p);
     for a in 0..p {
         let theta = 2.0 * std::f64::consts::PI * a as f64 / p as f64;
-        let target = [0.5 + ring_r * theta.cos(), 0.5 + ring_r * theta.sin(), ring_z];
+        let target = [
+            0.5 + ring_r * theta.cos(),
+            0.5 + ring_r * theta.sin(),
+            ring_z,
+        ];
         // Nearest interior Ez edge.
         let mut best = usize::MAX;
         let mut best_d = f64::MAX;
@@ -344,7 +363,8 @@ pub fn antenna_ring_rhs(
             if geom.edge_dir[e] != 2 {
                 continue;
             }
-            let d = (c[0] - target[0]).powi(2) + (c[1] - target[1]).powi(2)
+            let d = (c[0] - target[0]).powi(2)
+                + (c[1] - target[1]).powi(2)
                 + (c[2] - target[2]).powi(2);
             if d < best_d {
                 best_d = d;
@@ -438,8 +458,9 @@ mod tests {
         let mut hit = std::collections::HashSet::new();
         for a in 0..8 {
             let col = rhs.col(a);
-            let nz: Vec<usize> =
-                (0..col.len()).filter(|&i| col[i] != Complex::zero()).collect();
+            let nz: Vec<usize> = (0..col.len())
+                .filter(|&i| col[i] != Complex::zero())
+                .collect();
             assert_eq!(nz.len(), 1, "antenna {a}");
             hit.insert(nz[0]);
             assert_eq!(geom.edge_dir[nz[0]], 2);

@@ -51,7 +51,11 @@ pub fn poisson2d<S: Scalar>(nx: usize, ny: usize) -> Problem<S> {
     let a = coo.to_csr();
     // Near-nullspace for AMG: the constant vector.
     let ns = DMat::from_fn(n, 1, |_, _| S::one());
-    Problem { a, coords, near_nullspace: Some(ns) }
+    Problem {
+        a,
+        coords,
+        near_nullspace: Some(ns),
+    }
 }
 
 /// The paper's `i`-th right-hand side sampled on the grid.
@@ -63,7 +67,8 @@ pub fn rhs_nu<S: Scalar>(nx: usize, ny: usize, nu: f64) -> Vec<S> {
         for x in 0..nx {
             let xf = (x as f64 + 1.0) * hx;
             let yf = (y as f64 + 1.0) * hy;
-            let v = (1.0 / nu) * (-(1.0 - xf).powi(2) / nu).exp() * (-(1.0 - yf).powi(2) / nu).exp();
+            let v =
+                (1.0 / nu) * (-(1.0 - xf).powi(2) / nu).exp() * (-(1.0 - yf).powi(2) / nu).exp();
             f.push(S::from_f64(v));
         }
     }

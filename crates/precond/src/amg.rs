@@ -14,9 +14,12 @@ use crate::chebyshev::Chebyshev;
 use crate::jacobi::Jacobi;
 use crate::smoother;
 use kryst_dense::{qr::HouseholderQr, DMat};
+use kryst_obs::{Event, PrecondApplyEvent, Recorder};
 use kryst_par::PrecondOp;
 use kryst_scalar::{Real, Scalar};
 use kryst_sparse::{ops, Coo, Csr, SparseDirect};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Which smoother runs on each level.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +98,7 @@ pub struct Amg<S: Scalar> {
     coarse: CoarseSolver<S>,
     variable: bool,
     n: usize,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 enum CoarseSolver<S: Scalar> {
@@ -134,7 +138,8 @@ impl<S: Scalar> Amg<S> {
         let coarse = match SparseDirect::factor(&acur) {
             Some(f) => CoarseSolver::Direct(f),
             None => {
-                let shift = S::from_real(acur.inf_norm() * S::Real::epsilon() * S::Real::from_f64(1e6));
+                let shift =
+                    S::from_real(acur.inf_norm() * S::Real::epsilon() * S::Real::from_f64(1e6));
                 let reg = acur.shift_diag(shift);
                 CoarseSolver::Regularized(
                     SparseDirect::factor(&reg).expect("regularized coarse factor"),
@@ -142,9 +147,35 @@ impl<S: Scalar> Amg<S> {
             }
         };
         let smoother_impl = make_smoother(&acur, &opts.smoother);
-        levels.push(Level { a: acur, p: None, pt: None, smoother: smoother_impl });
-        let variable = matches!(opts.smoother, SmootherKind::Gmres { .. } | SmootherKind::Cg { .. });
-        Self { levels, coarse, variable, n }
+        levels.push(Level {
+            a: acur,
+            p: None,
+            pt: None,
+            smoother: smoother_impl,
+        });
+        let variable = matches!(
+            opts.smoother,
+            SmootherKind::Gmres { .. } | SmootherKind::Cg { .. }
+        );
+        Self {
+            levels,
+            coarse,
+            variable,
+            n,
+            recorder: None,
+        }
+    }
+
+    /// Attach an event recorder: every V-cycle application emits a
+    /// [`PrecondApplyEvent`] (`kind = "amg-vcycle"`, `detail` = level count).
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        self.recorder = if rec.enabled() { Some(rec) } else { None };
+    }
+
+    /// Builder-style variant of [`Amg::set_recorder`].
+    pub fn with_recorder(mut self, rec: Arc<dyn Recorder>) -> Self {
+        self.set_recorder(rec);
+        self
     }
 
     /// Number of levels (including the coarsest).
@@ -219,8 +250,12 @@ impl<S: Scalar> Amg<S> {
 
 fn make_smoother<S: Scalar>(a: &Csr<S>, kind: &SmootherKind) -> LevelSmoother<S> {
     match kind {
-        SmootherKind::Jacobi { omega, iters } => LevelSmoother::Jacobi(Jacobi::new(a, *omega), *iters),
-        SmootherKind::Chebyshev { degree } => LevelSmoother::Chebyshev(Chebyshev::new(a, *degree, 10.0)),
+        SmootherKind::Jacobi { omega, iters } => {
+            LevelSmoother::Jacobi(Jacobi::new(a, *omega), *iters)
+        }
+        SmootherKind::Chebyshev { degree } => {
+            LevelSmoother::Chebyshev(Chebyshev::new(a, *degree, 10.0))
+        }
         SmootherKind::Gmres { iters } => LevelSmoother::Gmres(*iters),
         SmootherKind::Cg { iters } => LevelSmoother::Cg(*iters),
     }
@@ -231,8 +266,17 @@ impl<S: Scalar> PrecondOp<S> for Amg<S> {
         self.n
     }
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
+        let t0 = Instant::now();
         z.set_zero();
         self.vcycle(0, r, z);
+        if let Some(rec) = &self.recorder {
+            rec.record(&Event::PrecondApply(PrecondApplyEvent {
+                kind: "amg-vcycle",
+                cols: r.ncols(),
+                detail: self.levels.len(),
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            }));
+        }
     }
     fn is_variable(&self) -> bool {
         self.variable
@@ -241,11 +285,7 @@ impl<S: Scalar> PrecondOp<S> for Amg<S> {
 
 /// Greedy strength-based aggregation + nullspace-preserving tentative
 /// prolongator. Returns `(P̂, B_coarse)`.
-fn tentative_prolongator<S: Scalar>(
-    a: &Csr<S>,
-    b: &DMat<S>,
-    threshold: f64,
-) -> (Csr<S>, DMat<S>) {
+fn tentative_prolongator<S: Scalar>(a: &Csr<S>, b: &DMat<S>, threshold: f64) -> (Csr<S>, DMat<S>) {
     let n = a.nrows();
     let nv = b.ncols();
     let diag = a.diag();
@@ -380,7 +420,13 @@ fn smooth_prolongator<S: Scalar>(a: &Csr<S>, ptent: &Csr<S>, damping: f64) -> Cs
     let inv_diag: Vec<S> = a
         .diag()
         .into_iter()
-        .map(|d| if d == S::zero() { S::zero() } else { S::one() / d })
+        .map(|d| {
+            if d == S::zero() {
+                S::zero()
+            } else {
+                S::one() / d
+            }
+        })
         .collect();
     let lmax = estimate_lmax_dinva(a, &inv_diag).max(1e-12);
     let omega = damping / lmax;
@@ -392,7 +438,9 @@ fn smooth_prolongator<S: Scalar>(a: &Csr<S>, ptent: &Csr<S>, damping: f64) -> Cs
 
 fn estimate_lmax_dinva<S: Scalar>(a: &Csr<S>, inv_diag: &[S]) -> f64 {
     let n = a.nrows();
-    let mut v: Vec<S> = (0..n).map(|i| S::from_f64(1.0 + ((i % 5) as f64) * 0.1)).collect();
+    let mut v: Vec<S> = (0..n)
+        .map(|i| S::from_f64(1.0 + ((i % 5) as f64) * 0.1))
+        .collect();
     let mut w = vec![S::zero(); n];
     let mut lmax = 1.0;
     for _ in 0..10 {
@@ -431,7 +479,11 @@ mod tests {
         let p = poisson2d::<f64>(32, 32);
         let amg = Amg::new(&p.a, p.near_nullspace.as_ref(), &AmgOpts::default());
         assert!(amg.nlevels() >= 2, "expected a multilevel hierarchy");
-        assert!(amg.operator_complexity() < 3.0, "complexity {}", amg.operator_complexity());
+        assert!(
+            amg.operator_complexity() < 3.0,
+            "complexity {}",
+            amg.operator_complexity()
+        );
     }
 
     #[test]
@@ -472,12 +524,18 @@ mod tests {
         let robust = Amg::new(
             &p.a,
             p.near_nullspace.as_ref(),
-            &AmgOpts { threshold: 0.0, ..Default::default() },
+            &AmgOpts {
+                threshold: 0.0,
+                ..Default::default()
+            },
         );
         let filtered = Amg::new(
             &p.a,
             p.near_nullspace.as_ref(),
-            &AmgOpts { threshold: 0.2, ..Default::default() },
+            &AmgOpts {
+                threshold: 0.2,
+                ..Default::default()
+            },
         );
         let s_robust = robust.level_sizes();
         let s_filtered = filtered.level_sizes();
@@ -508,7 +566,10 @@ mod tests {
         let nonlin = Amg::new(
             &p.a,
             None,
-            &AmgOpts { smoother: SmootherKind::Gmres { iters: 3 }, ..Default::default() },
+            &AmgOpts {
+                smoother: SmootherKind::Gmres { iters: 3 },
+                ..Default::default()
+            },
         );
         assert!(!PrecondOp::<f64>::is_variable(&lin));
         assert!(PrecondOp::<f64>::is_variable(&nonlin));
@@ -529,12 +590,18 @@ mod tests {
     #[test]
     fn elasticity_with_rigid_body_modes() {
         use kryst_pde::elasticity::{elasticity3d, ElasticityOpts};
-        let prob = elasticity3d::<f64>(&ElasticityOpts { ne: 4, ..Default::default() });
+        let prob = elasticity3d::<f64>(&ElasticityOpts {
+            ne: 4,
+            ..Default::default()
+        });
         let a = &prob.problem.a;
         let amg = Amg::new(
             a,
             prob.problem.near_nullspace.as_ref(),
-            &AmgOpts { smoother: SmootherKind::Chebyshev { degree: 3 }, ..Default::default() },
+            &AmgOpts {
+                smoother: SmootherKind::Chebyshev { degree: 3 },
+                ..Default::default()
+            },
         );
         let n = a.nrows();
         let b = DMat::from_fn(n, 1, |i, _| prob.rhs[i]);
@@ -548,6 +615,9 @@ mod tests {
             x.axpy(1.0, &z);
         }
         let rfinal = residual_norm(a, &b, &x);
-        assert!(rfinal < 1e-5 * r0, "elasticity V-cycle: {rfinal:.3e} of {r0:.3e}");
+        assert!(
+            rfinal < 1e-5 * r0,
+            "elasticity V-cycle: {rfinal:.3e} of {r0:.3e}"
+        );
     }
 }

@@ -34,7 +34,13 @@ impl<S: Scalar> Chebyshev<S> {
             })
             .collect();
         let lmax = estimate_lmax(a, &inv_diag);
-        Self { a: a.clone(), inv_diag, degree, lo: lmax / ratio, hi: 1.1 * lmax }
+        Self {
+            a: a.clone(),
+            inv_diag,
+            degree,
+            lo: lmax / ratio,
+            hi: 1.1 * lmax,
+        }
     }
 
     /// Estimated upper spectral bound of `D⁻¹A` used by this smoother.

@@ -6,6 +6,8 @@
 //! cheapest member and serves as a mid-strength baseline between Jacobi and
 //! AMG. The factorization keeps exactly the sparsity pattern of `A`.
 
+#![allow(clippy::needless_range_loop)] // index loops mirror the BLAS/LAPACK reference forms
+
 use kryst_dense::DMat;
 use kryst_par::PrecondOp;
 use kryst_scalar::Scalar;
@@ -72,7 +74,10 @@ impl<S: Scalar> Ilu0<S> {
                 return None;
             }
         }
-        Some(Self { factors: f, diag_pos })
+        Some(Self {
+            factors: f,
+            diag_pos,
+        })
     }
 
     /// Apply `M⁻¹ = Ũ⁻¹·L̃⁻¹` to one column.
@@ -168,7 +173,10 @@ mod tests {
         let bm = DMat::from_col_major(n, 1, b);
         let z = ilu.apply_new(&bm);
         for i in 0..n {
-            assert!((z[(i, 0)] - x_true[i]).abs() < 1e-12, "M ≠ A on tridiagonal");
+            assert!(
+                (z[(i, 0)] - x_true[i]).abs() < 1e-12,
+                "M ≠ A on tridiagonal"
+            );
         }
     }
 
@@ -189,7 +197,11 @@ mod tests {
         }
         let mut r = a.apply(&x);
         r.axpy(-1.0, &b);
-        assert!(r.fro_norm() < 1e-8 * b.fro_norm(), "rel res {}", r.fro_norm() / b.fro_norm());
+        assert!(
+            r.fro_norm() < 1e-8 * b.fro_norm(),
+            "rel res {}",
+            r.fro_norm() / b.fro_norm()
+        );
     }
 
     #[test]

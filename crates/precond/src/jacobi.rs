@@ -23,7 +23,10 @@ impl<S: Scalar> Jacobi<S> {
                 S::one() / d
             })
             .collect();
-        Self { inv_diag, weight: S::from_f64(omega) }
+        Self {
+            inv_diag,
+            weight: S::from_f64(omega),
+        }
     }
 
     /// One smoothing sweep: `x ⟵ x + ω·D⁻¹·(b − A·x)` repeated `iters` times.
@@ -96,6 +99,11 @@ mod tests {
         m.smooth(&a, &b, &mut x, 10);
         let mut r = a.apply(&x);
         r.axpy(-1.0, &b);
-        assert!(r.fro_norm() < 0.5 * r0, "residual {} vs {}", r.fro_norm(), r0);
+        assert!(
+            r.fro_norm() < 0.5 * r0,
+            "residual {} vs {}",
+            r.fro_norm(),
+            r0
+        );
     }
 }

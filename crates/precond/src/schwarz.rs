@@ -15,14 +15,16 @@
 //!   paper uses for Maxwell (see DESIGN.md).
 
 use kryst_dense::DMat;
+use kryst_obs::{Event, PrecondApplyEvent, Recorder};
 use kryst_par::{CommStats, PrecondOp};
+use kryst_rt::par::{map_range, map_vec};
 use kryst_scalar::Scalar;
 use kryst_sparse::partition::{
     grow_overlap, partition_of_unity, restricted_partition_of_unity, Partition,
 };
 use kryst_sparse::{Csr, SparseDirect};
-use rayon::prelude::*;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Schwarz flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +53,11 @@ pub struct SchwarzOpts {
 
 impl Default for SchwarzOpts {
     fn default() -> Self {
-        Self { variant: SchwarzVariant::Ras, overlap: 1, impedance: 0.0 }
+        Self {
+            variant: SchwarzVariant::Ras,
+            overlap: 1,
+            impedance: 0.0,
+        }
     }
 }
 
@@ -67,7 +73,9 @@ struct Subdomain<S: Scalar> {
 pub struct Schwarz<S: Scalar> {
     subs: Vec<Subdomain<S>>,
     n: usize,
+    variant: SchwarzVariant,
     stats: Option<Arc<CommStats>>,
+    recorder: Option<Arc<dyn Recorder>>,
     /// Total triangular-solve flops per single-RHS application (for the cost
     /// model).
     flops_per_rhs: usize,
@@ -88,37 +96,37 @@ impl<S: Scalar> Schwarz<S> {
                 partition_of_unity(n, &overlapping)
             }
         };
-        let subs: Vec<Subdomain<S>> = overlapping
-            .into_par_iter()
-            .zip(weights)
-            .map(|(set, w)| {
-                let mut local = a.principal_submatrix(&set);
-                if opts.variant == SchwarzVariant::Oras && opts.impedance != 0.0 {
-                    // Impedance (Robin) interface condition: shift the
-                    // diagonal of interface rows by +i·η.
-                    let shift = S::from_parts(0.0, opts.impedance);
-                    let interface = interface_rows(a, &set);
-                    for (li, is_if) in interface.iter().enumerate() {
-                        if *is_if {
-                            // Add to the stored diagonal entry.
-                            let pos = local
-                                .row_indices(li)
-                                .binary_search(&li)
-                                .expect("diagonal entry present");
-                            local.row_values_mut(li)[pos] += shift;
-                        }
+        let pieces: Vec<(Vec<usize>, Vec<f64>)> = overlapping.into_iter().zip(weights).collect();
+        let subs: Vec<Subdomain<S>> = map_vec(pieces, |(set, w)| {
+            let mut local = a.principal_submatrix(&set);
+            if opts.variant == SchwarzVariant::Oras && opts.impedance != 0.0 {
+                // Impedance (Robin) interface condition: shift the
+                // diagonal of interface rows by +i·η.
+                let shift = S::from_parts(0.0, opts.impedance);
+                let interface = interface_rows(a, &set);
+                for (li, is_if) in interface.iter().enumerate() {
+                    if *is_if {
+                        // Add to the stored diagonal entry.
+                        let pos = local
+                            .row_indices(li)
+                            .binary_search(&li)
+                            .expect("diagonal entry present");
+                        local.row_values_mut(li)[pos] += shift;
                     }
                 }
-                let solver = SparseDirect::factor(&local).unwrap_or_else(|| {
-                    // Local singular operator (can happen for ASM on pure
-                    // Neumann pieces): tiny diagonal regularization.
-                    let shift = S::from_f64(1e-12) * S::from_real(local.inf_norm());
-                    SparseDirect::factor(&local.shift_diag(shift))
-                        .expect("regularized local factor")
-                });
-                Subdomain { set, weights: w, solver }
-            })
-            .collect();
+            }
+            let solver = SparseDirect::factor(&local).unwrap_or_else(|| {
+                // Local singular operator (can happen for ASM on pure
+                // Neumann pieces): tiny diagonal regularization.
+                let shift = S::from_f64(1e-12) * S::from_real(local.inf_norm());
+                SparseDirect::factor(&local.shift_diag(shift)).expect("regularized local factor")
+            });
+            Subdomain {
+                set,
+                weights: w,
+                solver,
+            }
+        });
         let flops_per_rhs = subs
             .iter()
             .map(|s| {
@@ -127,13 +135,40 @@ impl<S: Scalar> Schwarz<S> {
                 2 * (2 * bw + 1) * s.solver.n() * scale
             })
             .sum();
-        Self { subs, n, stats: None, flops_per_rhs }
+        Self {
+            subs,
+            n,
+            variant: opts.variant,
+            stats: None,
+            recorder: None,
+            flops_per_rhs,
+        }
     }
 
     /// Report communication/flop counts of every application to `stats`.
     pub fn with_stats(mut self, stats: Arc<CommStats>) -> Self {
         self.stats = Some(stats);
         self
+    }
+
+    /// Emit a [`PrecondApplyEvent`] per application to `recorder`.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Builder form of [`Schwarz::set_recorder`].
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.set_recorder(recorder);
+        self
+    }
+
+    /// Stable trace name of the variant.
+    fn kind_name(&self) -> &'static str {
+        match self.variant {
+            SchwarzVariant::Asm => "schwarz-asm",
+            SchwarzVariant::Ras => "schwarz-ras",
+            SchwarzVariant::Oras => "schwarz-oras",
+        }
     }
 
     /// Number of subdomains.
@@ -165,6 +200,7 @@ impl<S: Scalar> PrecondOp<S> for Schwarz<S> {
 
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
         let p = r.ncols();
+        let t0 = Instant::now();
         if let Some(stats) = &self.stats {
             // Each subdomain exchanges its overlap with neighbors before and
             // after the local solve; charge 2 messages per subdomain as a
@@ -178,43 +214,44 @@ impl<S: Scalar> PrecondOp<S> for Schwarz<S> {
             );
             stats.record_flops(self.flops_per_rhs * p);
         }
-        // Solve every subdomain in parallel, then reduce the weighted
-        // scatter-adds.
+        // Solve every subdomain in parallel, then apply the weighted
+        // scatter-adds serially in subdomain order — the accumulation order
+        // is fixed regardless of thread count, so traces stay deterministic.
         let n = self.n;
-        let acc = self
-            .subs
-            .par_iter()
-            .fold(
-                || DMat::<S>::zeros(n, p),
-                |mut acc, sub| {
-                    let ni = sub.set.len();
-                    let mut local = DMat::zeros(ni, p);
-                    for c in 0..p {
-                        let rc = r.col(c);
-                        let lc = local.col_mut(c);
-                        for (li, &g) in sub.set.iter().enumerate() {
-                            lc[li] = rc[g];
-                        }
-                    }
-                    let sol = sub.solver.solve_multi(&local, 8, 1);
-                    for c in 0..p {
-                        let ac = acc.col_mut(c);
-                        let sc = sol.col(c);
-                        for (li, &g) in sub.set.iter().enumerate() {
-                            ac[g] += S::from_f64(sub.weights[li]) * sc[li];
-                        }
-                    }
-                    acc
-                },
-            )
-            .reduce(
-                || DMat::<S>::zeros(n, p),
-                |mut a, b| {
-                    a.axpy(S::one(), &b);
-                    a
-                },
-            );
+        let sols: Vec<DMat<S>> = map_range(self.subs.len(), |si| {
+            let sub = &self.subs[si];
+            let ni = sub.set.len();
+            let mut local = DMat::zeros(ni, p);
+            for c in 0..p {
+                let rc = r.col(c);
+                let lc = local.col_mut(c);
+                for (li, &g) in sub.set.iter().enumerate() {
+                    lc[li] = rc[g];
+                }
+            }
+            sub.solver.solve_multi(&local, 8, 1)
+        });
+        let mut acc = DMat::<S>::zeros(n, p);
+        for (sub, sol) in self.subs.iter().zip(&sols) {
+            for c in 0..p {
+                let ac = acc.col_mut(c);
+                let sc = sol.col(c);
+                for (li, &g) in sub.set.iter().enumerate() {
+                    ac[g] += S::from_f64(sub.weights[li]) * sc[li];
+                }
+            }
+        }
         z.copy_from(&acc);
+        if let Some(rec) = &self.recorder {
+            if rec.enabled() {
+                rec.record(&Event::PrecondApply(PrecondApplyEvent {
+                    kind: self.kind_name(),
+                    cols: p,
+                    detail: self.subs.len(),
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                }));
+            }
+        }
     }
 }
 
@@ -249,7 +286,14 @@ mod tests {
 
     #[test]
     fn ras_richardson_converges_on_poisson() {
-        let (a, m) = setup(16, 4, &SchwarzOpts { overlap: 2, ..Default::default() });
+        let (a, m) = setup(
+            16,
+            4,
+            &SchwarzOpts {
+                overlap: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.nsubdomains(), 4);
         let rel = richardson_converges(&a, &m, 30);
         assert!(rel < 1e-3, "RAS Richardson: rel residual {rel}");
@@ -258,11 +302,15 @@ mod tests {
     #[test]
     fn asm_is_symmetric_operator() {
         // ⟨M⁻¹u, v⟩ = ⟨u, M⁻¹v⟩ for ASM on a symmetric matrix.
-        let (_, m) = setup(10, 3, &SchwarzOpts {
-            variant: SchwarzVariant::Asm,
-            overlap: 1,
-            impedance: 0.0,
-        });
+        let (_, m) = setup(
+            10,
+            3,
+            &SchwarzOpts {
+                variant: SchwarzVariant::Asm,
+                overlap: 1,
+                impedance: 0.0,
+            },
+        );
         let n = 100;
         let u = DMat::from_fn(n, 1, |i, _| (i as f64 * 0.37).sin());
         let v = DMat::from_fn(n, 1, |i, _| (i as f64 * 0.11).cos());
@@ -298,7 +346,11 @@ mod tests {
         let asm = Schwarz::<C64>::new(
             &prob.a,
             &part,
-            &SchwarzOpts { variant: SchwarzVariant::Asm, overlap: 1, impedance: 0.0 },
+            &SchwarzOpts {
+                variant: SchwarzVariant::Asm,
+                overlap: 1,
+                impedance: 0.0,
+            },
         );
         let oras = Schwarz::<C64>::new(
             &prob.a,

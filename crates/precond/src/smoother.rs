@@ -41,8 +41,7 @@ pub fn gmres_smooth<S: Scalar>(a: &Csr<S>, r: &DMat<S>, z: &mut DMat<S>, iters: 
         for j in 0..iters {
             let vj = DMat::from_col_major(n, 1, v.col(j).to_vec());
             let mut w = a.apply(&vj);
-            let coeffs =
-                kryst_dense::gs::orthogonalize_block(&v, j + 1, &mut w, OrthScheme::Mgs);
+            let coeffs = kryst_dense::gs::orthogonalize_block(&v, j + 1, &mut w, OrthScheme::Mgs);
             let mut hcol = DMat::zeros(j + 2, 1);
             for i in 0..=j {
                 hcol[(i, 0)] = coeffs.coeffs[(i, 0)];

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+//! `kryst-rt` — runtime support for the kryst workspace.
+//!
+//! The build environment is fully offline (no crates-io registry), so the
+//! workspace carries its own minimal replacements for the two external
+//! crates the kernels used to lean on:
+//!
+//! * [`par`] — data-parallel helpers over `std::thread::scope`, covering the
+//!   shapes the kernels need (indexed chunked mutation, parallel map);
+//! * [`rng`] — a deterministic SplitMix64 generator for seeded test data
+//!   and benchmark inputs.
+
+pub mod par;
+pub mod rng;

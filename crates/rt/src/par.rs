@@ -1,0 +1,180 @@
+//! Scoped-thread data parallelism.
+//!
+//! The kernels only ever need two shapes: "mutate disjoint chunks of a slice
+//! in parallel" and "map an index range / vector in parallel, collecting in
+//! order". Both are provided here over `std::thread::scope` with static
+//! contiguous partitioning — no work stealing, no pool, no allocation beyond
+//! the output vector. Threads are capped by [`max_threads`] (the machine's
+//! available parallelism, overridable with `KRYST_THREADS`).
+
+use std::sync::OnceLock;
+
+/// Upper bound on worker threads: `KRYST_THREADS` if set and nonzero,
+/// otherwise `std::thread::available_parallelism()`.
+pub fn max_threads() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        if let Ok(v) = std::env::var("KRYST_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+fn effective(threads: usize) -> usize {
+    if threads == 0 {
+        max_threads()
+    } else {
+        threads.min(max_threads())
+    }
+}
+
+/// Apply `f(chunk_index, chunk)` to consecutive `chunk`-sized pieces of
+/// `data`, in parallel. `threads == 0` uses the default cap; `threads == 1`
+/// runs serially in the calling thread. The last chunk may be short.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
+    let nchunks = data.len().div_ceil(chunk);
+    let t = effective(threads).min(nchunks.max(1));
+    if t <= 1 || nchunks <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let per = nchunks.div_ceil(t);
+    std::thread::scope(|scope| {
+        let fr = &f;
+        let mut rest = data;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = (per * chunk).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let b = base;
+            scope.spawn(move || {
+                for (k, c) in head.chunks_mut(chunk).enumerate() {
+                    fr(b + k, c);
+                }
+            });
+            base += per;
+        }
+    });
+}
+
+/// Parallel `(0..n).map(f).collect()`, preserving order.
+pub fn map_range<O, F>(n: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let t = effective(0).min(n.max(1));
+    if t <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let per = n.div_ceil(t);
+    std::thread::scope(|scope| {
+        let fr = &f;
+        for (ti, slots) in out.chunks_mut(per).enumerate() {
+            scope.spawn(move || {
+                for (k, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(fr(ti * per + k));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("parallel map slot filled"))
+        .collect()
+}
+
+/// Parallel map over an owned vector, preserving order.
+pub fn map_vec<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    let t = effective(0).min(n.max(1));
+    if t <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let per = n.div_ceil(t);
+    std::thread::scope(|scope| {
+        let fr = &f;
+        for (ins, outs) in slots.chunks_mut(per).zip(out.chunks_mut(per)) {
+            scope.spawn(move || {
+                for (i, o) in ins.iter_mut().zip(outs.iter_mut()) {
+                    *o = Some(fr(i.take().expect("input present")));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("parallel map slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_mutation_touches_every_element_once() {
+        let mut v = vec![0u64; 1000];
+        for_each_chunk_mut(&mut v, 7, 0, |ci, c| {
+            for (k, x) in c.iter_mut().enumerate() {
+                *x += (ci * 7 + k) as u64 + 1;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn chunked_mutation_serial_matches_parallel() {
+        let mut a = vec![1.0f64; 257];
+        let mut b = a.clone();
+        let f = |ci: usize, c: &mut [f64]| {
+            for x in c.iter_mut() {
+                *x *= (ci + 2) as f64;
+            }
+        };
+        for_each_chunk_mut(&mut a, 16, 1, f);
+        for_each_chunk_mut(&mut b, 16, 0, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_range_preserves_order() {
+        let out = map_range(100, |i| i * i);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+        assert!(map_range(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn map_vec_preserves_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let out = map_vec(items, |i| i + 1000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i + 1000);
+        }
+    }
+}

@@ -87,7 +87,11 @@ impl<T: Real> Complex<T> {
         let two = T::from_f64(2.0);
         let re = ((m + self.re) / two).sqrt();
         let im_mag = ((m - self.re) / two).sqrt();
-        let im = if self.im >= T::zero() { im_mag } else { -im_mag };
+        let im = if self.im >= T::zero() {
+            im_mag
+        } else {
+            -im_mag
+        };
         Self::new(re, im)
     }
 
@@ -134,6 +138,7 @@ impl<T: Real> Mul for Complex<T> {
 impl<T: Real> Div for Complex<T> {
     type Output = Self;
     #[inline(always)]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via Smith-style reciprocal
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }
@@ -237,7 +242,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0), (-5.0, 12.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (0.0, 2.0),
+            (-1.0, 0.0),
+            (3.0, -4.0),
+            (-5.0, 12.0),
+        ] {
             let z = C::new(re, im);
             let s = z.sqrt();
             assert!((s * s - z).abs() < 1e-12, "sqrt({z:?})² = {:?}", s * s);

@@ -8,9 +8,11 @@
 //! per right-hand side — which is exactly the BLAS-2 → BLAS-3 regime change
 //! the paper measures in Fig. 6.
 
+#![allow(clippy::needless_range_loop)] // index loops mirror the BLAS/LAPACK reference forms
+
 use kryst_dense::DMat;
+use kryst_rt::par::for_each_chunk_mut;
 use kryst_scalar::{Real, Scalar};
-use rayon::prelude::*;
 
 /// Banded matrix in LAPACK band storage with room for pivoting fill:
 /// entry `(i, j)` lives at `ab[(kl + ku + i − j, j)]`, valid for
@@ -27,7 +29,13 @@ impl<S: Scalar> BandMat<S> {
     /// Zero-initialized band storage.
     pub fn zeros(n: usize, kl: usize, ku: usize) -> Self {
         let ldab = 2 * kl + ku + 1;
-        Self { n, kl, ku, ldab, ab: vec![S::zero(); ldab * n] }
+        Self {
+            n,
+            kl,
+            ku,
+            ldab,
+            ab: vec![S::zero(); ldab * n],
+        }
     }
 
     /// Matrix dimension.
@@ -52,7 +60,10 @@ impl<S: Scalar> BandMat<S> {
 
     #[inline(always)]
     fn idx(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i + self.ku + self.kl >= j && i <= j + self.kl, "({i},{j}) outside band");
+        debug_assert!(
+            i + self.ku + self.kl >= j && i <= j + self.kl,
+            "({i},{j}) outside band"
+        );
         j * self.ldab + (self.kl + self.ku + i - j)
     }
 
@@ -94,7 +105,7 @@ impl<S: Scalar> BandLu<S> {
         let mut ju = 0usize; // last column updated so far
         for j in 0..n {
             let km = kl.min(n - 1 - j); // subdiagonal entries in column j
-            // Pivot search in rows j..=j+km of column j.
+                                        // Pivot search in rows j..=j+km of column j.
             let mut jp = 0usize;
             let mut pmax = m.get(j, j).abs();
             for t in 1..=km {
@@ -114,7 +125,11 @@ impl<S: Scalar> BandLu<S> {
                 // Swap rows j and j+jp across columns j..=ju.
                 for k in j..=ju {
                     let a = m.get(j, k);
-                    let b = if m.in_band(j + jp, k) { m.get(j + jp, k) } else { S::zero() };
+                    let b = if m.in_band(j + jp, k) {
+                        m.get(j + jp, k)
+                    } else {
+                        S::zero()
+                    };
                     m.set(j, k, b);
                     if m.in_band(j + jp, k) {
                         m.set(j + jp, k, a);
@@ -145,7 +160,11 @@ impl<S: Scalar> BandLu<S> {
             }
             let _ = ku_tot;
         }
-        Self { mat: m, ipiv, singular }
+        Self {
+            mat: m,
+            ipiv,
+            singular,
+        }
     }
 
     /// Whether a zero pivot was encountered.
@@ -188,7 +207,7 @@ impl<S: Scalar> BandLu<S> {
 
     /// Solve with a block of right-hand sides, streaming the factor once per
     /// **tile** of columns (the BLAS-3-style amortization of Fig. 6).
-    /// `threads` caps the rayon parallelism over tiles (`0` = rayon default).
+    /// `threads` caps the parallelism over tiles (`0` = default cap).
     pub fn solve_multi(&self, b: &mut DMat<S>, tile: usize, threads: usize) {
         assert!(!self.singular);
         let n = self.mat.n;
@@ -245,14 +264,8 @@ impl<S: Scalar> BandLu<S> {
             for cols in data.chunks_mut(chunk) {
                 solve_tile(cols);
             }
-        } else if threads == 0 {
-            data.par_chunks_mut(chunk).for_each(solve_tile);
         } else {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .expect("thread pool");
-            pool.install(|| data.par_chunks_mut(chunk).for_each(solve_tile));
+            for_each_chunk_mut(data, chunk, threads, |_, cols| solve_tile(cols));
         }
     }
 }
@@ -289,7 +302,12 @@ mod tests {
         }
         f.solve_one(&mut b);
         for i in 0..25 {
-            assert!((b[i] - x_true[i]).abs() < 1e-10, "x[{i}] = {} vs {}", b[i], x_true[i]);
+            assert!(
+                (b[i] - x_true[i]).abs() < 1e-10,
+                "x[{i}] = {} vs {}",
+                b[i],
+                x_true[i]
+            );
         }
     }
 
@@ -301,7 +319,11 @@ mod tests {
         let mut d = DMat::<f64>::zeros(n, n);
         for i in 0..n {
             for j in i.saturating_sub(1)..(i + 2).min(n) {
-                let v = if i == j { 0.0 } else { 1.0 + (i + j) as f64 * 0.1 };
+                let v = if i == j {
+                    0.0
+                } else {
+                    1.0 + (i + j) as f64 * 0.1
+                };
                 bm.set(i, j, v);
                 d[(i, j)] = v;
             }

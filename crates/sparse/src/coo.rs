@@ -18,7 +18,13 @@ pub struct Coo<S> {
 impl<S: Scalar> Coo<S> {
     /// Empty builder with the given shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Builder with a capacity hint (number of expected triplets).

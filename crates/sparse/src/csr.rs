@@ -1,8 +1,8 @@
 //! Compressed sparse row matrix.
 
 use kryst_dense::DMat;
+use kryst_rt::par::for_each_chunk_mut;
 use kryst_scalar::{Real, Scalar};
-use rayon::prelude::*;
 
 /// Compressed sparse row matrix with sorted column indices per row.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,8 +29,17 @@ impl<S: Scalar> Csr<S> {
         assert_eq!(indptr.len(), nrows + 1);
         assert_eq!(indices.len(), data.len());
         assert_eq!(*indptr.last().unwrap(), indices.len());
-        debug_assert!(indices.iter().all(|&c| c < ncols), "column index out of range");
-        Self { nrows, ncols, indptr, indices, data }
+        debug_assert!(
+            indices.iter().all(|&c| c < ncols),
+            "column index out of range"
+        );
+        Self {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Identity matrix.
@@ -89,7 +98,9 @@ impl<S: Scalar> Csr<S> {
 
     /// The diagonal as a vector (missing entries are zero).
     pub fn diag(&self) -> Vec<S> {
-        (0..self.nrows.min(self.ncols)).map(|i| self.get(i, i)).collect()
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// `y ⟵ A·x` for a single vector.
@@ -106,7 +117,7 @@ impl<S: Scalar> Csr<S> {
             *yi = acc;
         };
         if self.nrows >= PAR_ROWS {
-            y.par_iter_mut().enumerate().for_each(|(i, yi)| kernel(i, yi));
+            for_each_chunk_mut(y, 1, 0, |i, yi| kernel(i, &mut yi[0]));
         } else {
             y.iter_mut().enumerate().for_each(|(i, yi)| kernel(i, yi));
         }
@@ -142,9 +153,11 @@ impl<S: Scalar> Csr<S> {
             }
         };
         if n >= PAR_ROWS {
-            tmp.par_chunks_mut(p).enumerate().for_each(|(i, out)| row_kernel(i, out));
+            for_each_chunk_mut(&mut tmp, p, 0, row_kernel);
         } else {
-            tmp.chunks_mut(p).enumerate().for_each(|(i, out)| row_kernel(i, out));
+            tmp.chunks_mut(p)
+                .enumerate()
+                .for_each(|(i, out)| row_kernel(i, out));
         }
         for (i, chunk) in tmp.chunks(p).enumerate() {
             for (l, &v) in chunk.iter().enumerate() {

@@ -39,7 +39,12 @@ impl<S: Scalar> SparseDirect<S> {
         if lu.is_singular() {
             return None;
         }
-        Some(Self { lu, perm, n, bandwidth: bw })
+        Some(Self {
+            lu,
+            perm,
+            n,
+            bandwidth: bw,
+        })
     }
 
     /// Matrix dimension.
@@ -170,7 +175,9 @@ mod tests {
         }
         let a = c.to_csr();
         let f = SparseDirect::factor(&a).expect("nonsingular");
-        let x_true: Vec<C64> = (0..n).map(|i| C64::from_parts(i as f64 * 0.1, -1.0)).collect();
+        let x_true: Vec<C64> = (0..n)
+            .map(|i| C64::from_parts(i as f64 * 0.1, -1.0))
+            .collect();
         let mut b = vec![C64::zero(); n];
         a.spmv(&x_true, &mut b);
         let x = f.solve_one(&b);

@@ -1,6 +1,8 @@
 //! Sparse matrix–matrix products (Gustavson's algorithm) and the Galerkin
 //! triple product used by the multigrid hierarchy.
 
+#![allow(clippy::needless_range_loop)] // index loops mirror the BLAS/LAPACK reference forms
+
 use crate::Csr;
 use kryst_scalar::Scalar;
 

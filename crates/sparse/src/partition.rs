@@ -7,6 +7,8 @@
 //! `T_i^δ` (§V-A); and a multiplicity-based partition of unity provides the
 //! `D_i` matrices with `Σ R_iᵀ·D_i·R_i = I`.
 
+#![allow(clippy::needless_range_loop)] // index loops mirror the BLAS/LAPACK reference forms
+
 use crate::Csr;
 use kryst_scalar::Scalar;
 

@@ -33,12 +33,19 @@ fn main() {
         same_system: false, // the operator varies between systems
         ..Default::default()
     };
-    let amg_opts = AmgOpts { smoother: SmootherKind::Cg { iters: 4 }, ..Default::default() };
+    let amg_opts = AmgOpts {
+        smoother: SmootherKind::Cg { iters: 4 },
+        ..Default::default()
+    };
 
     println!("\nPETSc (FGMRES)");
     let mut fg = (0usize, 0.0f64);
     for (i, sys) in systems.iter().enumerate() {
-        let amg = Amg::new(&sys.problem.a, sys.problem.near_nullspace.as_ref(), &amg_opts);
+        let amg = Amg::new(
+            &sys.problem.a,
+            sys.problem.near_nullspace.as_ref(),
+            &amg_opts,
+        );
         let b = DMat::from_col_major(n, 1, sys.rhs.clone());
         let mut x = DMat::zeros(n, 1);
         let t = Instant::now();
@@ -55,7 +62,11 @@ fn main() {
     let mut ctx = SolverContext::new();
     let mut gc = (0usize, 0.0f64);
     for (i, sys) in systems.iter().enumerate() {
-        let amg = Amg::new(&sys.problem.a, sys.problem.near_nullspace.as_ref(), &amg_opts);
+        let amg = Amg::new(
+            &sys.problem.a,
+            sys.problem.near_nullspace.as_ref(),
+            &amg_opts,
+        );
         let b = DMat::from_col_major(n, 1, sys.rhs.clone());
         let mut x = DMat::zeros(n, 1);
         let t = Instant::now();

@@ -13,11 +13,23 @@ use kryst_pde::heat::HeatSequence;
 use std::time::Instant;
 
 fn main() {
-    let n1d = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
-    let steps = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let n1d = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let steps = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     println!("implicit heat, {n1d}×{n1d} grid, {steps} time steps, dt = 0.05");
 
-    let opts = SolveOpts { rtol: 1e-9, restart: 30, recycle: 10, same_system: true, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-9,
+        restart: 30,
+        recycle: 10,
+        same_system: true,
+        ..Default::default()
+    };
 
     // GMRES per step.
     let mut seq = HeatSequence::<f64>::new(n1d, n1d, 0.05);

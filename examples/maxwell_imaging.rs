@@ -14,13 +14,19 @@ use kryst_core::{gcrodr, OrthScheme, PrecondSide, SolveOpts, SolverContext};
 use kryst_dense::DMat;
 use kryst_pde::maxwell::{antenna_ring_rhs, maxwell3d, MaxwellParams};
 use kryst_precond::{Schwarz, SchwarzOpts, SchwarzVariant};
-use kryst_scalar::{Scalar, C64};
+use kryst_scalar::C64;
 use kryst_sparse::partition::partition_rcb;
 use std::time::Instant;
 
 fn main() {
-    let nc = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
-    let nant = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let nc = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let nant = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let params = MaxwellParams::with_cylinder(nc);
     println!("imaging chamber: nc = {nc}, plastic cylinder inclusion, {nant} antennas");
     let (prob, geom) = maxwell3d(&params);
@@ -33,7 +39,11 @@ fn main() {
     let oras = Schwarz::new(
         &prob.a,
         &part,
-        &SchwarzOpts { variant: SchwarzVariant::Oras, overlap: 2, impedance: params.omega },
+        &SchwarzOpts {
+            variant: SchwarzVariant::Oras,
+            overlap: 2,
+            impedance: params.omega,
+        },
     );
     println!(
         "ORAS setup: {:.2}s, {} subdomains, largest {} dofs",
@@ -64,7 +74,11 @@ fn main() {
         let b = rhs.cols(start, width);
         let mut x = DMat::<C64>::zeros(n, width);
         let res = gcrodr::solve(&prob.a, &oras, &b, &mut x, &opts, &mut ctx);
-        assert!(res.converged, "transmitter block at {start} failed: {:?}", res.final_relres);
+        assert!(
+            res.converged,
+            "transmitter block at {start} failed: {:?}",
+            res.final_relres
+        );
         total_iters += res.iterations;
         field.set_block(0, start, &x);
         println!(

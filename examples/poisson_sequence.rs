@@ -30,7 +30,10 @@ fn main() {
     let amg = Amg::new(
         &prob.a,
         prob.near_nullspace.as_ref(),
-        &AmgOpts { smoother: SmootherKind::Gmres { iters: 3 }, ..Default::default() },
+        &AmgOpts {
+            smoother: SmootherKind::Gmres { iters: 3 },
+            ..Default::default()
+        },
     );
     println!(
         "preconditioner setup: {:.3}s ({} levels, complexity {:.2})",

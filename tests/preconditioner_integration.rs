@@ -20,7 +20,10 @@ fn amg_iteration_count_is_grid_independent() {
         let amg = Amg::new(&prob.a, prob.near_nullspace.as_ref(), &AmgOpts::default());
         let b = DMat::from_fn(n, 1, |i, _| ((i % 5) as f64) - 2.0);
         let mut x = DMat::zeros(n, 1);
-        let opts = SolveOpts { rtol: 1e-8, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            ..Default::default()
+        };
         let res = gmres::solve(&prob.a, &amg, &b, &mut x, &opts);
         assert!(res.converged, "nx = {nx}");
         counts.push(res.iterations);
@@ -43,28 +46,58 @@ fn smoother_strength_trades_setup_for_iterations() {
         let amg = Amg::new(
             &prob.a,
             prob.near_nullspace.as_ref(),
-            &AmgOpts { smoother: SmootherKind::Gmres { iters: smoothing }, ..Default::default() },
+            &AmgOpts {
+                smoother: SmootherKind::Gmres { iters: smoothing },
+                ..Default::default()
+            },
         );
         let mut x = DMat::zeros(n, 1);
-        let opts = SolveOpts { rtol: 1e-8, side: PrecondSide::Flexible, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            side: PrecondSide::Flexible,
+            ..Default::default()
+        };
         let res = gmres::solve(&prob.a, &amg, &b, &mut x, &opts);
         assert!(res.converged);
         iters.push(res.iterations);
     }
-    assert!(iters[1] > iters[0], "GMRES(1) {} !> GMRES(3) {}", iters[1], iters[0]);
+    assert!(
+        iters[1] > iters[0],
+        "GMRES(1) {} !> GMRES(3) {}",
+        iters[1],
+        iters[0]
+    );
 }
 
 #[test]
 fn rigid_body_modes_improve_elasticity_amg() {
-    let prob = elasticity3d::<f64>(&ElasticityOpts { ne: 6, ..Default::default() });
+    let prob = elasticity3d::<f64>(&ElasticityOpts {
+        ne: 6,
+        ..Default::default()
+    });
     let a = &prob.problem.a;
     let n = a.nrows();
     let b = DMat::from_fn(n, 1, |i, _| prob.rhs[i]);
-    let opts = SolveOpts { rtol: 1e-8, max_iters: 400, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        max_iters: 400,
+        ..Default::default()
+    };
     let mut iters = Vec::new();
     for use_rbm in [true, false] {
-        let ns = if use_rbm { prob.problem.near_nullspace.as_ref() } else { None };
-        let amg = Amg::new(a, ns, &AmgOpts { smoother: SmootherKind::Chebyshev { degree: 2 }, ..Default::default() });
+        let ns = if use_rbm {
+            prob.problem.near_nullspace.as_ref()
+        } else {
+            None
+        };
+        let amg = Amg::new(
+            a,
+            ns,
+            &AmgOpts {
+                smoother: SmootherKind::Chebyshev { degree: 2 },
+                ..Default::default()
+            },
+        );
         let mut x = DMat::zeros(n, 1);
         let res = gmres::solve(a, &amg, &b, &mut x, &opts);
         assert!(res.converged, "use_rbm = {use_rbm}");
@@ -84,20 +117,34 @@ fn overlap_improves_schwarz_convergence() {
     let n = prob.a.nrows();
     let part = partition_rcb(&prob.coords, 8);
     let b = DMat::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
-    let opts = SolveOpts { rtol: 1e-8, restart: 200, max_iters: 200, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        restart: 200,
+        max_iters: 200,
+        ..Default::default()
+    };
     let mut iters = Vec::new();
     for overlap in [1usize, 3] {
         let ras = Schwarz::new(
             &prob.a,
             &part,
-            &SchwarzOpts { variant: SchwarzVariant::Ras, overlap, impedance: 0.0 },
+            &SchwarzOpts {
+                variant: SchwarzVariant::Ras,
+                overlap,
+                impedance: 0.0,
+            },
         );
         let mut x = DMat::zeros(n, 1);
         let res = gmres::solve(&prob.a, &ras, &b, &mut x, &opts);
         assert!(res.converged, "overlap = {overlap}");
         iters.push(res.iterations);
     }
-    assert!(iters[1] < iters[0], "overlap 3 ({}) !< overlap 1 ({})", iters[1], iters[0]);
+    assert!(
+        iters[1] < iters[0],
+        "overlap 3 ({}) !< overlap 1 ({})",
+        iters[1],
+        iters[0]
+    );
 }
 
 #[test]
@@ -107,21 +154,35 @@ fn more_subdomains_more_iterations_one_level_schwarz() {
     let prob = poisson2d::<f64>(32, 32);
     let n = prob.a.nrows();
     let b = DMat::from_fn(n, 1, |i, _| ((i % 4) as f64) - 1.5);
-    let opts = SolveOpts { rtol: 1e-8, restart: 300, max_iters: 300, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        restart: 300,
+        max_iters: 300,
+        ..Default::default()
+    };
     let mut iters = Vec::new();
     for nsub in [2usize, 16] {
         let part = partition_rcb(&prob.coords, nsub);
         let ras = Schwarz::new(
             &prob.a,
             &part,
-            &SchwarzOpts { variant: SchwarzVariant::Ras, overlap: 2, impedance: 0.0 },
+            &SchwarzOpts {
+                variant: SchwarzVariant::Ras,
+                overlap: 2,
+                impedance: 0.0,
+            },
         );
         let mut x = DMat::zeros(n, 1);
         let res = gmres::solve(&prob.a, &ras, &b, &mut x, &opts);
         assert!(res.converged, "nsub = {nsub}");
         iters.push(res.iterations);
     }
-    assert!(iters[1] > iters[0], "N = 16 ({}) !> N = 2 ({})", iters[1], iters[0]);
+    assert!(
+        iters[1] > iters[0],
+        "N = 16 ({}) !> N = 2 ({})",
+        iters[1],
+        iters[0]
+    );
 }
 
 #[test]
@@ -133,21 +194,38 @@ fn fig4_shape_oras_beats_asm_and_amg_on_maxwell() {
     let n = prob.a.nrows();
     let part = partition_rcb(&prob.coords, 8);
     let b = antenna_ring_rhs(&geom, &params, 1, 0.3, 0.5);
-    let opts = SolveOpts { rtol: 1e-6, restart: 200, max_iters: 200, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-6,
+        restart: 200,
+        max_iters: 200,
+        ..Default::default()
+    };
 
     let oras = Schwarz::<C64>::new(
         &prob.a,
         &part,
-        &SchwarzOpts { variant: SchwarzVariant::Oras, overlap: 2, impedance: params.omega },
+        &SchwarzOpts {
+            variant: SchwarzVariant::Oras,
+            overlap: 2,
+            impedance: params.omega,
+        },
     );
     let mut x = DMat::<C64>::zeros(n, 1);
     let res_oras = gmres::solve(&prob.a, &oras, &b, &mut x, &opts);
-    assert!(res_oras.converged, "ORAS must converge: {:?}", res_oras.final_relres);
+    assert!(
+        res_oras.converged,
+        "ORAS must converge: {:?}",
+        res_oras.final_relres
+    );
 
     let asm = Schwarz::<C64>::new(
         &prob.a,
         &part,
-        &SchwarzOpts { variant: SchwarzVariant::Asm, overlap: 1, impedance: 0.0 },
+        &SchwarzOpts {
+            variant: SchwarzVariant::Asm,
+            overlap: 1,
+            impedance: 0.0,
+        },
     );
     let mut x = DMat::<C64>::zeros(n, 1);
     let res_asm = gmres::solve(&prob.a, &asm, &b, &mut x, &opts);
@@ -155,14 +233,28 @@ fn fig4_shape_oras_beats_asm_and_amg_on_maxwell() {
     let amg = Amg::new(
         &prob.a,
         None,
-        &AmgOpts { smoother: SmootherKind::Jacobi { omega: 0.6, iters: 2 }, ..Default::default() },
+        &AmgOpts {
+            smoother: SmootherKind::Jacobi {
+                omega: 0.6,
+                iters: 2,
+            },
+            ..Default::default()
+        },
     );
     let mut x = DMat::<C64>::zeros(n, 1);
     let res_amg = gmres::solve(&prob.a, &amg, &b, &mut x, &opts);
 
     let oras_iters = res_oras.iterations;
-    let asm_iters = if res_asm.converged { res_asm.iterations } else { usize::MAX };
-    let amg_iters = if res_amg.converged { res_amg.iterations } else { usize::MAX };
+    let asm_iters = if res_asm.converged {
+        res_asm.iterations
+    } else {
+        usize::MAX
+    };
+    let amg_iters = if res_amg.converged {
+        res_amg.iterations
+    } else {
+        usize::MAX
+    };
     assert!(
         oras_iters < asm_iters && oras_iters < amg_iters,
         "ORAS {oras_iters} vs ASM {:?} vs AMG {:?}",

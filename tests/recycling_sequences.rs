@@ -15,7 +15,13 @@ use kryst_sparse::partition::partition_rcb;
 #[test]
 fn heat_stepping_recycling_saves_a_third_of_iterations() {
     let steps = 6;
-    let opts = SolveOpts { rtol: 1e-9, restart: 25, recycle: 8, same_system: true, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-9,
+        restart: 25,
+        recycle: 8,
+        same_system: true,
+        ..Default::default()
+    };
 
     let run = |recycle: bool| -> usize {
         let mut seq = HeatSequence::<f64>::new(30, 30, 0.05);
@@ -54,7 +60,10 @@ fn poisson_sequence_with_variable_amg_preconditioner() {
     let amg = Amg::new(
         &prob.a,
         prob.near_nullspace.as_ref(),
-        &AmgOpts { smoother: SmootherKind::Gmres { iters: 3 }, ..Default::default() },
+        &AmgOpts {
+            smoother: SmootherKind::Gmres { iters: 3 },
+            ..Default::default()
+        },
     );
     let rhss = paper_rhs_sequence::<f64>(nx, nx);
     let opts = SolveOpts {
@@ -85,7 +94,10 @@ fn poisson_sequence_with_variable_amg_preconditioner() {
     // solve), so the laptop-scale assertion is "recycling never loses";
     // the large *gains* of the paper's Fig. 2 appear in the weakly
     // preconditioned regime covered by the other tests in this file.
-    assert!(total_r <= total_g, "FGCRO-DR {total_r} !<= FGMRES {total_g}");
+    assert!(
+        total_r <= total_g,
+        "FGCRO-DR {total_r} !<= FGMRES {total_g}"
+    );
     for i in 1..4 {
         assert!(
             gcrodr_iters[i] <= gmres_iters[i],
@@ -106,7 +118,11 @@ fn maxwell_antenna_sequence_with_oras() {
     let oras = Schwarz::<C64>::new(
         &prob.a,
         &part,
-        &SchwarzOpts { variant: SchwarzVariant::Oras, overlap: 2, impedance: params.omega },
+        &SchwarzOpts {
+            variant: SchwarzVariant::Oras,
+            overlap: 2,
+            impedance: params.omega,
+        },
     );
     let rhs = antenna_ring_rhs(&geom, &params, 4, 0.3, 0.5);
     let opts = SolveOpts {
@@ -139,22 +155,57 @@ fn pseudo_block_contexts_persist_across_solves() {
     let id = IdentityPrecond::new(n);
     let b1 = DMat::from_fn(n, 3, |i, j| (((i + j) % 7) as f64) - 3.0);
     let b2 = DMat::from_fn(n, 3, |i, j| (((i * 2 + j) % 9) as f64) - 4.0);
-    let opts = SolveOpts { rtol: 1e-8, restart: 20, recycle: 6, same_system: true, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        restart: 20,
+        recycle: 6,
+        same_system: true,
+        ..Default::default()
+    };
     let mut ctxs: Vec<SolverContext<f64>> = Vec::new();
     let mut x = DMat::zeros(n, 3);
-    let r1 = pseudo::solve(&prob.a, &id, &b1, &mut x, &opts, PseudoMethod::GcroDr, Some(&mut ctxs));
+    let r1 = pseudo::solve(
+        &prob.a,
+        &id,
+        &b1,
+        &mut x,
+        &opts,
+        PseudoMethod::GcroDr,
+        Some(&mut ctxs),
+    );
     assert!(r1.converged);
     assert_eq!(ctxs.len(), 3);
     assert!(ctxs.iter().all(|c| c.recycled_cols() > 0));
     // Re-solving the same systems must be much cheaper with the matured
     // per-RHS recycle spaces.
     let mut x = DMat::zeros(n, 3);
-    let r2 = pseudo::solve(&prob.a, &id, &b1, &mut x, &opts, PseudoMethod::GcroDr, Some(&mut ctxs));
+    let r2 = pseudo::solve(
+        &prob.a,
+        &id,
+        &b1,
+        &mut x,
+        &opts,
+        PseudoMethod::GcroDr,
+        Some(&mut ctxs),
+    );
     assert!(r2.converged);
-    assert!(r2.iterations < r1.iterations, "{} !< {}", r2.iterations, r1.iterations);
+    assert!(
+        r2.iterations < r1.iterations,
+        "{} !< {}",
+        r2.iterations,
+        r1.iterations
+    );
     // A different RHS still converges correctly through the recycled state.
     let mut x = DMat::zeros(n, 3);
-    let r3 = pseudo::solve(&prob.a, &id, &b2, &mut x, &opts, PseudoMethod::GcroDr, Some(&mut ctxs));
+    let r3 = pseudo::solve(
+        &prob.a,
+        &id,
+        &b2,
+        &mut x,
+        &opts,
+        PseudoMethod::GcroDr,
+        Some(&mut ctxs),
+    );
     assert!(r3.converged);
 }
 
@@ -167,7 +218,13 @@ fn block_gcrodr_beats_consecutive_gcrodr_in_iterations() {
     let id = IdentityPrecond::new(n);
     let p = 4;
     let b = DMat::from_fn(n, p, |i, j| (((i * (j + 1)) % 11) as f64) - 5.0);
-    let opts = SolveOpts { rtol: 1e-8, restart: 30, recycle: 5, same_system: true, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        restart: 30,
+        recycle: 5,
+        same_system: true,
+        ..Default::default()
+    };
 
     // Consecutive single-RHS GCRO-DR.
     let mut ctx = SolverContext::new();
@@ -191,5 +248,9 @@ fn block_gcrodr_beats_consecutive_gcrodr_in_iterations() {
         consecutive
     );
     // And block iterations alone are far fewer than the total.
-    assert!(rb.iterations < consecutive, "{} !< {consecutive}", rb.iterations);
+    assert!(
+        rb.iterations < consecutive,
+        "{} !< {consecutive}",
+        rb.iterations
+    );
 }

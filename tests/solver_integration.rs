@@ -28,14 +28,25 @@ fn amg_fgmres_poisson_matches_direct_solution() {
     let amg = Amg::new(
         &prob.a,
         prob.near_nullspace.as_ref(),
-        &AmgOpts { smoother: SmootherKind::Gmres { iters: 2 }, ..Default::default() },
+        &AmgOpts {
+            smoother: SmootherKind::Gmres { iters: 2 },
+            ..Default::default()
+        },
     );
     let b = DMat::from_fn(n, 1, |i, _| ((i * 13) % 17) as f64 - 8.0);
     let mut x = DMat::zeros(n, 1);
-    let opts = SolveOpts { rtol: 1e-10, side: PrecondSide::Flexible, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-10,
+        side: PrecondSide::Flexible,
+        ..Default::default()
+    };
     let res = gmres::solve(&prob.a, &amg, &b, &mut x, &opts);
     assert!(res.converged);
-    assert!(res.iterations <= 30, "AMG-FGMRES took {} iterations", res.iterations);
+    assert!(
+        res.iterations <= 30,
+        "AMG-FGMRES took {} iterations",
+        res.iterations
+    );
     // Compare against the sparse direct solution.
     let f = SparseDirect::factor(&prob.a).unwrap();
     let xd = f.solve_one(b.col(0));
@@ -50,17 +61,27 @@ fn amg_fgmres_poisson_matches_direct_solution() {
 
 #[test]
 fn amg_preconditioned_cg_on_elasticity() {
-    let prob = elasticity3d::<f64>(&ElasticityOpts { ne: 5, ..Default::default() });
+    let prob = elasticity3d::<f64>(&ElasticityOpts {
+        ne: 5,
+        ..Default::default()
+    });
     let a = &prob.problem.a;
     let n = a.nrows();
     let amg = Amg::new(
         a,
         prob.problem.near_nullspace.as_ref(),
-        &AmgOpts { smoother: SmootherKind::Chebyshev { degree: 2 }, ..Default::default() },
+        &AmgOpts {
+            smoother: SmootherKind::Chebyshev { degree: 2 },
+            ..Default::default()
+        },
     );
     let b = DMat::from_fn(n, 1, |i, _| prob.rhs[i]);
     let mut x = DMat::zeros(n, 1);
-    let opts = SolveOpts { rtol: 1e-8, max_iters: 300, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        max_iters: 300,
+        ..Default::default()
+    };
     let res = cg::solve(a, &amg, &b, &mut x, &opts);
     assert!(res.converged, "AMG-PCG elasticity: {:?}", res.final_relres);
     assert!(res.iterations < 60, "AMG-PCG took {}", res.iterations);
@@ -75,7 +96,11 @@ fn oras_gmres_maxwell_multiple_antennas() {
     let oras = Schwarz::<C64>::new(
         &prob.a,
         &part,
-        &SchwarzOpts { variant: SchwarzVariant::Oras, overlap: 2, impedance: params.omega },
+        &SchwarzOpts {
+            variant: SchwarzVariant::Oras,
+            overlap: 2,
+            impedance: params.omega,
+        },
     );
     let b = antenna_ring_rhs(&geom, &params, 4, 0.3, 0.5);
     let mut x = DMat::<C64>::zeros(prob.a.nrows(), 4);
@@ -97,7 +122,13 @@ fn all_krylov_methods_agree_on_the_solution() {
     let n = prob.a.nrows();
     let id = IdentityPrecond::new(n);
     let b = DMat::from_fn(n, 1, |i, _| ((i % 11) as f64) - 5.0);
-    let opts = SolveOpts { rtol: 1e-11, restart: 25, recycle: 6, max_iters: 3000, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-11,
+        restart: 25,
+        recycle: 6,
+        max_iters: 3000,
+        ..Default::default()
+    };
     let f = SparseDirect::factor(&prob.a).unwrap();
     let reference = f.solve_one(b.col(0));
 
@@ -121,7 +152,10 @@ fn all_krylov_methods_agree_on_the_solution() {
         for i in 0..n {
             diff = diff.max((x[(i, 0)] - reference[i]).abs());
         }
-        assert!(diff < 1e-7, "{name} disagrees with the direct solve by {diff}");
+        assert!(
+            diff < 1e-7,
+            "{name} disagrees with the direct solve by {diff}"
+        );
     }
 }
 
@@ -134,7 +168,11 @@ fn left_right_flexible_sides_reach_same_solution() {
     let mut xs = Vec::new();
     for side in [PrecondSide::Left, PrecondSide::Right, PrecondSide::Flexible] {
         let mut x = DMat::zeros(n, 1);
-        let opts = SolveOpts { rtol: 1e-10, side, ..Default::default() };
+        let opts = SolveOpts {
+            rtol: 1e-10,
+            side,
+            ..Default::default()
+        };
         let res = gmres::solve(&prob.a, &amg, &b, &mut x, &opts);
         assert!(res.converged, "{side:?}");
         xs.push(x);
@@ -153,7 +191,11 @@ fn block_width_does_not_change_the_answer() {
     let id = IdentityPrecond::new(n);
     let p = 3;
     let b = DMat::from_fn(n, p, |i, j| (((i + 7 * j) % 13) as f64) - 6.0);
-    let opts = SolveOpts { rtol: 1e-10, restart: 40, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-10,
+        restart: 40,
+        ..Default::default()
+    };
     let mut xb = DMat::zeros(n, p);
     assert!(gmres::solve(&prob.a, &id, &b, &mut xb, &opts).converged);
     for l in 0..p {
@@ -184,8 +226,17 @@ fn gcrodr_handles_singular_rhs_block_via_rank_revealing_cholqr() {
     }
     let mut x = DMat::zeros(n, 2);
     let mut ctx = SolverContext::new();
-    let opts = SolveOpts { rtol: 1e-8, restart: 20, recycle: 4, ..Default::default() };
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        restart: 20,
+        recycle: 4,
+        ..Default::default()
+    };
     let res = gcrodr::solve(&prob.a, &id, &b, &mut x, &opts, &mut ctx);
-    assert!(res.converged, "rank-deficient block: {:?}", res.final_relres);
+    assert!(
+        res.converged,
+        "rank-deficient block: {:?}",
+        res.final_relres
+    );
     assert!(true_relres(&prob.a, &b, &x) < 1e-6);
 }
