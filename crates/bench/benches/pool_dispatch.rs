@@ -1,0 +1,74 @@
+//! Dispatch latency of the persistent worker pool vs per-call spawning.
+//!
+//! The pool exists because solver iterations fire many *small* parallel
+//! kernels: what matters is the fixed cost of getting work onto the
+//! threads, not the throughput of the work itself. Each case here runs a
+//! cheap axpy so the measured time is dominated by dispatch. The `spawn/*`
+//! cases re-implement the pre-pool behavior (fresh scoped threads every
+//! call) as the baseline.
+//!
+//! `KRYST_THREADS` defaults to 2 for this bench so the pool genuinely
+//! dispatches even on single-core CI runners.
+
+use kryst_bench::harness::Criterion;
+use kryst_bench::{criterion_group, criterion_main};
+use kryst_rt::par::{for_each_chunk_mut, max_threads};
+
+/// The pre-pool reference: partition and spawn scoped threads per call.
+fn spawn_for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let len = data.len();
+    let nchunks = len.div_ceil(chunk);
+    let t = max_threads().min(nchunks.max(1));
+    if t <= 1 || nchunks <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let per = nchunks.div_ceil(t);
+    std::thread::scope(|scope| {
+        for (part, piece) in data.chunks_mut(per * chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (k, c) in piece.chunks_mut(chunk).enumerate() {
+                    f(part * per + k, c);
+                }
+            });
+        }
+    });
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    // Must run before the first pool touch: max_threads() caps once.
+    if std::env::var_os("KRYST_THREADS").is_none() {
+        std::env::set_var("KRYST_THREADS", "2");
+    }
+    let axpy = |_ci: usize, c: &mut [f64]| {
+        for x in c.iter_mut() {
+            *x = 1.5 * *x + 0.5;
+        }
+    };
+    for n in [4_096usize, 65_536] {
+        let mut g = c.benchmark_group(format!("dispatch_{n}"));
+        let mut v = vec![1.0f64; n];
+        g.bench_function("pool", |bch| {
+            bch.iter(|| for_each_chunk_mut(&mut v, 1024, 0, axpy));
+        });
+        let mut w = vec![1.0f64; n];
+        g.bench_function("spawn", |bch| {
+            bch.iter(|| spawn_for_each_chunk_mut(&mut w, 1024, axpy));
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_dispatch
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! CI regression gate for the kernel benchmarks.
+//!
+//! Usage: `bench_compare <BENCH_kernels.json> <fresh.jsonl> [max_ratio]`
+//!
+//! `BENCH_kernels.json` is the checked-in before/after record (a JSON array
+//! of `{"name","baseline_s","after_s","speedup"}` entries — see
+//! EXPERIMENTS.md for how it was produced). `fresh.jsonl` is the output of
+//! a bench run with `KRYST_BENCH_JSON` set (one object per line with
+//! `name`/`median_s`). Every kernel present in both files must come in
+//! under `max_ratio` (default 2.0) times its checked-in `after_s`; any
+//! kernel above the bound fails the gate with exit code 1. Kernels missing
+//! from either side are reported but do not fail — machines differ, bench
+//! sets evolve.
+
+use kryst_obs::json::JsonValue;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_compare <BENCH_kernels.json> <fresh.jsonl> [max_ratio]");
+        return ExitCode::from(2);
+    }
+    let max_ratio: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("max_ratio must be a number"))
+        .unwrap_or(2.0);
+
+    let baseline_src = match std::fs::read_to_string(&args[0]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args[0]);
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match JsonValue::parse(&baseline_src) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{}: parse error: {e}", args[0]);
+            return ExitCode::from(2);
+        }
+    };
+    let mut reference: BTreeMap<String, f64> = BTreeMap::new();
+    for entry in baseline.as_array().unwrap_or(&[]) {
+        if let (Some(name), Some(after)) = (
+            entry.get("name").and_then(|v| v.as_str()),
+            entry.get("after_s").and_then(|v| v.as_f64()),
+        ) {
+            reference.insert(name.to_string(), after);
+        }
+    }
+
+    let fresh_src = match std::fs::read_to_string(&args[1]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args[1]);
+            return ExitCode::from(2);
+        }
+    };
+    let mut fresh: BTreeMap<String, f64> = BTreeMap::new();
+    for (ln, line) in fresh_src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = match JsonValue::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{}:{}: parse error: {e}", args[1], ln + 1);
+                return ExitCode::from(2);
+            }
+        };
+        if let (Some(name), Some(median)) = (
+            v.get("name").and_then(|v| v.as_str()),
+            v.get("median_s").and_then(|v| v.as_f64()),
+        ) {
+            // Last measurement wins when a bench ran more than once.
+            fresh.insert(name.to_string(), median);
+        }
+    }
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (name, &after) in &reference {
+        let Some(&median) = fresh.get(name) else {
+            println!("SKIP {name:<40} (not in fresh run)");
+            continue;
+        };
+        compared += 1;
+        let ratio = median / after;
+        let verdict = if ratio > max_ratio {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:<4} {name:<40} checked-in {:>12.3e} s  fresh {:>12.3e} s  ratio {ratio:.2}",
+            after, median
+        );
+    }
+    for name in fresh.keys() {
+        if !reference.contains_key(name) {
+            println!("NEW  {name:<40} (no checked-in reference)");
+        }
+    }
+    println!("compared {compared} kernels, {failures} over the {max_ratio}x bound");
+    if failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -15,6 +15,7 @@ use crate::trace::SolveTracer;
 use kryst_dense::{blas, lu::Lu, DMat};
 use kryst_par::{LinOp, PrecondOp};
 use kryst_scalar::{Real, Scalar};
+use kryst_sparse::SpmmWorkspace;
 
 /// Solve `A·X = B` (`A` SPD/HPD) with preconditioned Block CG.
 pub fn solve<S: Scalar>(
@@ -36,13 +37,17 @@ pub fn solve<S: Scalar>(
     let mut s_rz = blas::adjoint_times(&r, &z);
     let mut tracer = SolveTracer::begin(opts, "bcg", 0, a.nrows(), p);
     let mut iters = 0usize;
+    // Buffer pool for the per-iteration n × p temporaries (A·D, M⁻¹·R, the
+    // next direction block): no allocation after the first iteration.
+    let mut ws = SpmmWorkspace::new();
 
     loop {
         let res: Vec<f64> = r.col_norms().iter().map(|v| v.to_f64()).collect();
         if !any_above(&res, &bnorms, opts.rtol) || iters >= opts.max_iters {
             break;
         }
-        let ad = a.apply_new(&d);
+        let mut ad = ws.take(a.nrows(), p);
+        a.apply(&d, &mut ad);
         if let Some(st) = &opts.stats {
             // Two fused block reductions per iteration (DᴴAD and RᴴZ).
             st.record_reductions(2, 2 * p * p * std::mem::size_of::<S>());
@@ -71,7 +76,10 @@ pub fn solve<S: Scalar>(
             S::one(),
             &mut r,
         );
-        z = pc.apply_new(&r);
+        ws.put(ad);
+        let mut znew = ws.take(a.nrows(), p);
+        pc.apply(&r, &mut znew);
+        ws.put(std::mem::replace(&mut z, znew));
         let s_new = blas::adjoint_times(&r, &z);
         // β solves (old RᴴZ)·β = new RᴴZ.
         let beta = match solve_small(&s_rz, &s_new) {
@@ -79,7 +87,8 @@ pub fn solve<S: Scalar>(
             None => break,
         };
         // D ⟵ Z + D·β.
-        let mut d_next = z.clone();
+        let mut d_next = ws.take(a.nrows(), p);
+        d_next.copy_from(&z);
         blas::gemm(
             S::one(),
             &d,
@@ -89,7 +98,7 @@ pub fn solve<S: Scalar>(
             S::one(),
             &mut d_next,
         );
-        d = d_next;
+        ws.put(std::mem::replace(&mut d, d_next));
         s_rz = s_new;
         iters += 1;
         let row: Vec<f64> = r

@@ -15,6 +15,7 @@ use kryst_dense::qr::IncrementalQr;
 use kryst_dense::{blas, DMat};
 use kryst_par::{CommStats, LinOp, PrecondOp};
 use kryst_scalar::{Real, Scalar};
+use kryst_sparse::SpmmWorkspace;
 
 /// Preconditioning mode resolved from [`crate::SolveOpts::side`].
 pub enum PrecondMode<'a, S: Scalar> {
@@ -92,6 +93,8 @@ pub struct BlockArnoldi<'a, S: Scalar> {
     /// Numerical rank of the block produced by the most recent [`Self::step`]
     /// (equals the block width while no breakdown occurs).
     pub last_step_rank: usize,
+    /// Buffer pool for the per-step `n × p` temporaries (`V_j`, `Z_j`, `W`).
+    ws: SpmmWorkspace<S>,
 }
 
 impl<'a, S: Scalar> BlockArnoldi<'a, S> {
@@ -123,7 +126,20 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
             stats,
             initial_rank: p,
             last_step_rank: p,
+            ws: SpmmWorkspace::new(),
         }
+    }
+
+    /// Seed the cycle's buffer pool with a workspace carried over from a
+    /// previous cycle, so restarts reuse the same `n × p` allocations.
+    pub fn with_workspace(mut self, ws: SpmmWorkspace<S>) -> Self {
+        self.ws = ws;
+        self
+    }
+
+    /// Recover the buffer pool to hand to the next cycle.
+    pub fn into_workspace(self) -> SpmmWorkspace<S> {
+        self.ws
     }
 
     /// Start the cycle from the residual block `r0` (rank-revealing CholQR —
@@ -157,11 +173,34 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         assert!(self.can_step());
         let j = self.j;
         let p = self.p;
-        let vj = self.v.cols(j * p, p);
-        // Solution-space direction and operator application.
-        let zj = self.mode.to_solution(&vj);
-        let mut w = self.mode.apply_op(self.a, &zj);
+        let n = self.v.nrows();
+        // Current basis block V_j (columns j·p .. (j+1)·p are contiguous).
+        let mut vj = self.ws.take(n, p);
+        vj.as_mut_slice()
+            .copy_from_slice(&self.v.as_slice()[j * p * n..(j + 1) * p * n]);
+        // Solution-space direction: Z_j = M⁻¹·V_j (right), else V_j itself.
+        let zj = match self.mode {
+            PrecondMode::Right(m) => {
+                let mut zj = self.ws.take(n, p);
+                m.apply(&vj, &mut zj);
+                self.ws.put(vj);
+                zj
+            }
+            _ => vj,
+        };
+        // Operator application: W = A·Z_j (left: M⁻¹·A·Z_j).
+        let mut w = self.ws.take(n, p);
+        match self.mode {
+            PrecondMode::Left(m) => {
+                let mut t = self.ws.take(n, p);
+                self.a.apply(&zj, &mut t);
+                m.apply(&t, &mut w);
+                self.ws.put(t);
+            }
+            _ => self.a.apply(&zj, &mut w),
+        }
         self.z.set_block(0, j * p, &zj);
+        self.ws.put(zj);
         // Inner orthogonalization against the recycled block C (one fused
         // reduction — the extra communication of recycling, §III-D).
         if let Some(c) = self.c_proj {
@@ -193,6 +232,7 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         self.hraw.set_block(0, j * p, &hcol);
         self.qr.push_block(&hcol);
         self.v.set_block(0, (j + 1) * p, &w);
+        self.ws.put(w);
         self.j += 1;
         self.qr
             .residual_norms()

@@ -90,6 +90,8 @@ pub fn solve<S: Scalar>(
     let orth_name = opts.orth.name();
     let mut cycle = 0usize;
     let mut iters = 0usize;
+    // Buffer pool shared by every Arnoldi cycle of this solve.
+    let mut ws = kryst_sparse::SpmmWorkspace::new();
 
     // The paper's Fig. 1 guards the refresh work with `A_i ≠ A_{i−1}`: for
     // the very first system in a sequence that condition is vacuously true,
@@ -159,7 +161,8 @@ pub fn solve<S: Scalar>(
     // ---- Lines 10–21: first cycle is plain (block) GMRES. ---------------
     if space.is_none() {
         let cyc_probe = tracer.span_start();
-        let mut arn = BlockArnoldi::new(a, &mode, m, p, opts.orth, None, stats);
+        let mut arn = BlockArnoldi::new(a, &mode, m, p, opts.orth, None, stats)
+            .with_workspace(std::mem::take(&mut ws));
         arn.start(&r);
         let mut done = false;
         let mut first = true;
@@ -220,6 +223,7 @@ pub fn solve<S: Scalar>(
             }
         }
         tracer.span_end(eig_probe, SpanKind::Eigensolve, cycle);
+        ws = arn.into_workspace();
         cycle += 1;
         let _ = done;
         if !any_above(
@@ -254,7 +258,8 @@ pub fn solve<S: Scalar>(
         let k_blocks = kc.div_ceil(p);
         let m_inner = (m - k_blocks.min(m - 1)).max(1);
         let cyc_probe = tracer.span_start();
-        let mut arn = BlockArnoldi::new(a, &mode, m_inner, p, opts.orth, Some(&rec.c), stats);
+        let mut arn = BlockArnoldi::new(a, &mode, m_inner, p, opts.orth, Some(&rec.c), stats)
+            .with_workspace(std::mem::take(&mut ws));
         arn.start(&r);
         let mut done = false;
         let mut first = true;
@@ -318,13 +323,14 @@ pub fn solve<S: Scalar>(
                 j: arn.iterations(),
                 p,
             };
-            drop(arn);
+            ws = arn.into_workspace();
             let refresh_probe = tracer.span_start();
             space = Some(refresh_recycle_space(
                 rec, parts, kc, opts, stats, &tracer, cycle,
             ));
             tracer.span_end(refresh_probe, SpanKind::RecycleRefresh, cycle);
         } else {
+            ws = arn.into_workspace();
             space = Some(rec);
         }
         cycle += 1;

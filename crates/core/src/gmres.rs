@@ -52,9 +52,13 @@ pub fn solve<S: Scalar>(
     }
 
     let mut cycle = 0usize;
+    // Buffer pool shared by every restart cycle: the per-step n × p
+    // temporaries are allocated once and reused for the whole solve.
+    let mut ws = kryst_sparse::SpmmWorkspace::new();
     while iters < opts.max_iters {
         let cyc = tracer.span_start();
-        let mut arn = BlockArnoldi::new(a, &mode, m, p, opts.orth, None, opts.stats.as_deref());
+        let mut arn = BlockArnoldi::new(a, &mode, m, p, opts.orth, None, opts.stats.as_deref())
+            .with_workspace(std::mem::take(&mut ws));
         arn.start(&r);
         let mut first = true;
         while arn.can_step() && iters < opts.max_iters {
@@ -75,6 +79,7 @@ pub fn solve<S: Scalar>(
         let restart = tracer.span_start();
         let y = arn.solve_y();
         arn.update_solution(&y, x);
+        ws = arn.into_workspace();
         r = mode.residual(a, b, x);
         tracer.span_end(restart, SpanKind::Restart, cycle);
         cycle += 1;

@@ -24,6 +24,7 @@ use crate::trace::SolveTracer;
 use kryst_dense::DMat;
 use kryst_par::{LinOp, PrecondOp};
 use kryst_scalar::Scalar;
+use kryst_sparse::SpmmWorkspace;
 use std::sync::{Condvar, Mutex};
 
 /// Which single-RHS method the pseudo-block driver fuses.
@@ -57,11 +58,14 @@ struct BatchState<S: Scalar> {
     active: Vec<bool>,
     waiting: usize,
     live: usize,
+    /// Pool for the fused/pending/result column blocks — the batch barrier
+    /// allocates nothing once every buffer size has been seen.
+    ws: SpmmWorkspace<S>,
 }
 
 /// The fused kernel a [`BatchGroup`] leader executes on behalf of all
-/// members: `(kind, fused columns) -> fused result`.
-pub type BatchExec<'a, S> = Box<dyn Fn(u8, &DMat<S>) -> DMat<S> + Send + Sync + 'a>;
+/// members: `(kind, fused columns, zeroed fused output)`.
+pub type BatchExec<'a, S> = Box<dyn Fn(u8, &DMat<S>, &mut DMat<S>) + Send + Sync + 'a>;
 
 /// Leader-executes batching barrier over the operator and preconditioner.
 pub struct BatchGroup<'a, S: Scalar> {
@@ -80,6 +84,7 @@ impl<'a, S: Scalar> BatchGroup<'a, S> {
                 active: vec![true; p],
                 waiting: 0,
                 live: p,
+                ws: SpmmWorkspace::new(),
             }),
             cv: Condvar::new(),
             exec,
@@ -105,7 +110,7 @@ impl<'a, S: Scalar> BatchGroup<'a, S> {
                 .iter()
                 .map(|&m| st.pending[m].as_ref().unwrap().1.ncols())
                 .sum();
-            let mut big = DMat::zeros(n, total);
+            let mut big = st.ws.take(n, total);
             let mut off = 0;
             for &m in &members {
                 let (_, blk) = st.pending[m].as_ref().unwrap();
@@ -113,14 +118,21 @@ impl<'a, S: Scalar> BatchGroup<'a, S> {
                 off += blk.ncols();
             }
             // One fused kernel call (the point of pseudo-block methods).
-            let out = (self.exec)(tag, &big);
+            let mut out = st.ws.take(n, total);
+            (self.exec)(tag, &big, &mut out);
+            st.ws.put(big);
             let mut off = 0;
             for &m in &members {
-                let w = st.pending[m].as_ref().unwrap().1.ncols();
-                st.results[m] = Some(out.cols(off, w));
-                st.pending[m] = None;
+                let (_, blk) = st.pending[m].take().unwrap();
+                let w = blk.ncols();
+                st.ws.put(blk);
+                let mut res = st.ws.take(n, w);
+                res.as_mut_slice()
+                    .copy_from_slice(&out.as_slice()[off * n..(off + w) * n]);
+                st.results[m] = Some(res);
                 off += w;
             }
+            st.ws.put(out);
         }
         st.waiting = 0;
     }
@@ -129,7 +141,9 @@ impl<'a, S: Scalar> BatchGroup<'a, S> {
     pub fn submit(&self, me: usize, tag: u8, block: &DMat<S>) -> DMat<S> {
         let mut st = self.state.lock().unwrap();
         debug_assert!(st.active[me]);
-        st.pending[me] = Some((tag, block.clone()));
+        let mut buf = st.ws.take(block.nrows(), block.ncols());
+        buf.copy_from(block);
+        st.pending[me] = Some((tag, buf));
         st.waiting += 1;
         if st.waiting == st.live {
             self.run_batch(&mut st);
@@ -140,6 +154,11 @@ impl<'a, S: Scalar> BatchGroup<'a, S> {
             }
         }
         st.results[me].take().expect("batched result present")
+    }
+
+    /// Return a result buffer obtained from [`Self::submit`] to the pool.
+    pub fn recycle(&self, buf: DMat<S>) {
+        self.state.lock().unwrap().ws.put(buf);
     }
 
     /// Leave the group (the member's solve has finished).
@@ -172,6 +191,7 @@ impl<S: Scalar> LinOp<S> for BatchedOp<'_, '_, S> {
     fn apply(&self, x: &DMat<S>, y: &mut DMat<S>) {
         let out = self.group.submit(self.me, self.tag, x);
         y.copy_from(&out);
+        self.group.recycle(out);
     }
 }
 
@@ -182,6 +202,7 @@ impl<S: Scalar> PrecondOp<S> for BatchedOp<'_, '_, S> {
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
         let out = self.group.submit(self.me, self.tag, r);
         z.copy_from(&out);
+        self.group.recycle(out);
     }
 }
 
@@ -208,11 +229,11 @@ pub fn solve<S: Scalar>(
     let mut tracer = SolveTracer::begin(opts, name, 0, n, p);
     let group = BatchGroup::new(
         p,
-        Box::new(move |tag, block: &DMat<S>| {
+        Box::new(move |tag, block: &DMat<S>, out: &mut DMat<S>| {
             if tag == TAG_OP {
-                a.apply_new(block)
+                a.apply(block, out)
             } else {
-                pc.apply_new(block)
+                pc.apply(block, out)
             }
         }),
     );

@@ -58,6 +58,12 @@ impl<S: Scalar> DMat<S> {
         Self::from_col_major(n, 1, v)
     }
 
+    /// Consume the matrix and return its column-major backing buffer
+    /// (capacity preserved — buffer pools reshape through this).
+    pub fn into_vec(self) -> Vec<S> {
+        self.data
+    }
+
     /// Number of rows.
     #[inline(always)]
     pub fn nrows(&self) -> usize {

@@ -5,10 +5,15 @@
 //! workspace carries its own minimal replacements for the two external
 //! crates the kernels used to lean on:
 //!
-//! * [`par`] — data-parallel helpers over `std::thread::scope`, covering the
-//!   shapes the kernels need (indexed chunked mutation, parallel map);
+//! * [`par`] — data-parallel helpers covering the shapes the kernels need
+//!   (indexed chunked mutation, contiguous range splitting, parallel map),
+//!   dispatching onto [`pool`];
+//! * [`pool`] — a lazily-initialized persistent worker pool (parked threads,
+//!   condvar/atomic job handoff) replacing per-call `std::thread::scope`
+//!   spawn/join on every kernel invocation;
 //! * [`rng`] — a deterministic SplitMix64 generator for seeded test data
 //!   and benchmark inputs.
 
 pub mod par;
+pub mod pool;
 pub mod rng;

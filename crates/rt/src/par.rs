@@ -1,12 +1,16 @@
-//! Scoped-thread data parallelism.
+//! Data parallelism over the persistent worker pool.
 //!
-//! The kernels only ever need two shapes: "mutate disjoint chunks of a slice
-//! in parallel" and "map an index range / vector in parallel, collecting in
-//! order". Both are provided here over `std::thread::scope` with static
-//! contiguous partitioning — no work stealing, no pool, no allocation beyond
-//! the output vector. Threads are capped by [`max_threads`] (the machine's
-//! available parallelism, overridable with `KRYST_THREADS`).
+//! The kernels only ever need three shapes: "mutate disjoint chunks of a
+//! slice in parallel", "map an index range / vector in parallel, collecting
+//! in order", and "run a closure over disjoint contiguous index ranges".
+//! All of them are provided here with static contiguous partitioning over
+//! [`crate::pool`] — parked persistent workers instead of per-call thread
+//! spawn/join, no work stealing across calls, no allocation beyond the
+//! output vector. Threads are capped by [`max_threads`] (the machine's
+//! available parallelism, overridable with `KRYST_THREADS`; `1` is fully
+//! serial and deterministic).
 
+use crate::pool;
 use std::sync::OnceLock;
 
 /// Upper bound on worker threads: `KRYST_THREADS` if set and nonzero,
@@ -35,6 +39,33 @@ fn effective(threads: usize) -> usize {
     }
 }
 
+/// Raw-pointer wrapper that asserts cross-thread use is sound.
+///
+/// The parallel helpers partition an output buffer into *disjoint* element
+/// ranges and hand each range to one pool part; the pointer itself is what
+/// crosses the thread boundary. Safe Rust cannot express "disjoint strided
+/// sub-views of one allocation", so kernels that write column-major output
+/// from row-partitioned work (SpMM, blocked GEMM) use this wrapper with a
+/// per-call disjointness argument at the `unsafe` site.
+#[derive(Copy, Clone)]
+pub struct SendPtr<T>(*mut T);
+// SAFETY: callers only dereference through disjoint index sets per part
+// (documented at each use site), so aliased mutation cannot occur.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Wrap a raw pointer for cross-thread disjoint-range access.
+    pub fn new(p: *mut T) -> Self {
+        Self(p)
+    }
+    /// The wrapped pointer. Going through a method (not a public field)
+    /// makes closures capture the whole wrapper, keeping it `Sync`.
+    pub fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
 /// Apply `f(chunk_index, chunk)` to consecutive `chunk`-sized pieces of
 /// `data`, in parallel. `threads == 0` uses the default cap; `threads == 1`
 /// runs serially in the calling thread. The last chunk may be short.
@@ -44,7 +75,8 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     let chunk = chunk.max(1);
-    let nchunks = data.len().div_ceil(chunk);
+    let len = data.len();
+    let nchunks = len.div_ceil(chunk);
     let t = effective(threads).min(nchunks.max(1));
     if t <= 1 || nchunks <= 1 {
         for (i, c) in data.chunks_mut(chunk).enumerate() {
@@ -52,23 +84,42 @@ where
         }
         return;
     }
-    let per = nchunks.div_ceil(t);
-    std::thread::scope(|scope| {
-        let fr = &f;
-        let mut rest = data;
-        let mut base = 0usize;
-        while !rest.is_empty() {
-            let take = (per * chunk).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let b = base;
-            scope.spawn(move || {
-                for (k, c) in head.chunks_mut(chunk).enumerate() {
-                    fr(b + k, c);
-                }
-            });
-            base += per;
+    let per = nchunks.div_ceil(t); // chunks per part
+    let nparts = nchunks.div_ceil(per);
+    let base = SendPtr::new(data.as_mut_ptr());
+    pool::run_parts(nparts, |part| {
+        let start = part * per * chunk;
+        let end = (start + per * chunk).min(len);
+        // SAFETY: parts cover disjoint, contiguous element ranges of `data`,
+        // and `data` outlives the dispatch (run_parts blocks until done).
+        let slice = unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), end - start) };
+        for (k, c) in slice.chunks_mut(chunk).enumerate() {
+            f(part * per + k, c);
         }
+    });
+}
+
+/// Run `f(start, end)` over disjoint contiguous subranges covering `0..n`,
+/// one part per pool slot. `threads == 0` uses the default cap. Serial (a
+/// single `f(0, n)` call) when `n` or the thread cap is too small.
+pub fn for_each_range<F>(n: usize, threads: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let t = effective(threads).min(n);
+    if t <= 1 {
+        f(0, n);
+        return;
+    }
+    let per = n.div_ceil(t);
+    let nparts = n.div_ceil(per);
+    pool::run_parts(nparts, |part| {
+        let start = part * per;
+        let end = (start + per).min(n);
+        f(start, end);
     });
 }
 
@@ -83,15 +134,16 @@ where
         return (0..n).map(f).collect();
     }
     let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let base = SendPtr::new(out.as_mut_ptr());
     let per = n.div_ceil(t);
-    std::thread::scope(|scope| {
-        let fr = &f;
-        for (ti, slots) in out.chunks_mut(per).enumerate() {
-            scope.spawn(move || {
-                for (k, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(fr(ti * per + k));
-                }
-            });
+    let nparts = n.div_ceil(per);
+    pool::run_parts(nparts, |part| {
+        let start = part * per;
+        let end = (start + per).min(n);
+        // SAFETY: parts fill disjoint slot ranges of `out`.
+        let slots = unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), end - start) };
+        for (k, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(start + k));
         }
     });
     out.into_iter()
@@ -113,15 +165,22 @@ where
     }
     let mut slots: Vec<Option<I>> = items.into_iter().map(Some).collect();
     let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let inp = SendPtr::new(slots.as_mut_ptr());
+    let outp = SendPtr::new(out.as_mut_ptr());
     let per = n.div_ceil(t);
-    std::thread::scope(|scope| {
-        let fr = &f;
-        for (ins, outs) in slots.chunks_mut(per).zip(out.chunks_mut(per)) {
-            scope.spawn(move || {
-                for (i, o) in ins.iter_mut().zip(outs.iter_mut()) {
-                    *o = Some(fr(i.take().expect("input present")));
-                }
-            });
+    let nparts = n.div_ceil(per);
+    pool::run_parts(nparts, |part| {
+        let start = part * per;
+        let end = (start + per).min(n);
+        // SAFETY: parts consume/fill disjoint slot ranges of both vectors.
+        let (ins, outs) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(inp.ptr().add(start), end - start),
+                std::slice::from_raw_parts_mut(outp.ptr().add(start), end - start),
+            )
+        };
+        for (i, o) in ins.iter_mut().zip(outs.iter_mut()) {
+            *o = Some(f(i.take().expect("input present")));
         }
     });
     out.into_iter()
@@ -158,6 +217,28 @@ mod tests {
         for_each_chunk_mut(&mut a, 16, 1, f);
         for_each_chunk_mut(&mut b, 16, 0, f);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        let hits: Vec<AtomicU8> = (0..513).map(|_| AtomicU8::new(0)).collect();
+        for_each_range(513, 0, |s, e| {
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+        // Serial explicit request also covers.
+        let hits2: Vec<AtomicU8> = (0..64).map(|_| AtomicU8::new(0)).collect();
+        for_each_range(64, 1, |s, e| {
+            assert_eq!((s, e), (0, 64));
+            for h in &hits2[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
     }
 
     #[test]

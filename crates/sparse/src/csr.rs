@@ -1,7 +1,7 @@
 //! Compressed sparse row matrix.
 
 use kryst_dense::DMat;
-use kryst_rt::par::for_each_chunk_mut;
+use kryst_rt::par::{for_each_chunk_mut, for_each_range, SendPtr};
 use kryst_scalar::{Real, Scalar};
 
 /// Compressed sparse row matrix with sorted column indices per row.
@@ -16,6 +16,10 @@ pub struct Csr<S> {
 
 /// Row count below which SpMV/SpMM stay single-threaded.
 const PAR_ROWS: usize = 4096;
+
+/// Column-block width for SpMM register accumulators: each row's nonzeros
+/// are streamed once per block of this many right-hand sides.
+const SPMM_COLS: usize = 8;
 
 impl<S: Scalar> Csr<S> {
     /// Build from raw CSR arrays (validated).
@@ -96,11 +100,24 @@ impl<S: Scalar> Csr<S> {
         }
     }
 
-    /// The diagonal as a vector (missing entries are zero).
+    /// The diagonal as a vector (missing entries are zero). One linear scan
+    /// per row — column indices are sorted, so the scan stops at the first
+    /// index ≥ `i` instead of binary-searching the whole row.
     pub fn diag(&self) -> Vec<S> {
-        (0..self.nrows.min(self.ncols))
-            .map(|i| self.get(i, i))
-            .collect()
+        let d = self.nrows.min(self.ncols);
+        let mut out = vec![S::zero(); d];
+        for (i, oi) in out.iter_mut().enumerate() {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let c = self.indices[k];
+                if c >= i {
+                    if c == i {
+                        *oi = self.data[k];
+                    }
+                    break;
+                }
+            }
+        }
+        out
     }
 
     /// `y ⟵ A·x` for a single vector.
@@ -124,8 +141,12 @@ impl<S: Scalar> Csr<S> {
     }
 
     /// `Y ⟵ A·X` for a block of `p` vectors (sparse matrix–dense matrix
-    /// product). The row's nonzeros are read **once** and streamed across all
-    /// `p` columns — the arithmetic-intensity win of §V-B2.
+    /// product). The row's nonzeros are read once per column block of
+    /// [`SPMM_COLS`] right-hand sides and streamed across the block through
+    /// register accumulators — the arithmetic-intensity win of §V-B2 —
+    /// writing the column-major output directly. No temporaries, no
+    /// allocation: reusing `y` across solver iterations (see
+    /// `SpmmWorkspace`) makes the whole product allocation-free.
     pub fn spmm(&self, x: &DMat<S>, y: &mut DMat<S>) {
         assert_eq!(x.nrows(), self.ncols);
         assert_eq!(y.nrows(), self.nrows);
@@ -138,31 +159,50 @@ impl<S: Scalar> Csr<S> {
             return;
         }
         let n = self.nrows;
-        let xcols: Vec<&[S]> = (0..p).map(|j| x.col(j)).collect();
-        // Work on a row-major temporary so each row's p outputs are contiguous.
-        let mut tmp = vec![S::zero(); n * p];
-        let row_kernel = |i: usize, out: &mut [S]| {
-            let lo = self.indptr[i];
-            let hi = self.indptr[i + 1];
-            for k in lo..hi {
-                let a = self.data[k];
-                let c = self.indices[k];
-                for (l, xc) in xcols.iter().enumerate() {
-                    out[l] += a * xc[c];
+        let xn = x.nrows();
+        let xd = x.as_slice();
+        let yp = SendPtr::new(y.as_mut_slice().as_mut_ptr());
+        let band = |r0: usize, r1: usize| {
+            let mut jb = 0;
+            while jb < p {
+                let nb = SPMM_COLS.min(p - jb);
+                for i in r0..r1 {
+                    let lo = self.indptr[i];
+                    let hi = self.indptr[i + 1];
+                    let mut acc = [S::zero(); SPMM_COLS];
+                    if nb == SPMM_COLS {
+                        // Full column block: fixed-width inner loop the
+                        // compiler can unroll/vectorize.
+                        for k in lo..hi {
+                            let a = self.data[k];
+                            let c = self.indices[k];
+                            for l in 0..SPMM_COLS {
+                                acc[l] += a * xd[(jb + l) * xn + c];
+                            }
+                        }
+                    } else {
+                        for k in lo..hi {
+                            let a = self.data[k];
+                            let c = self.indices[k];
+                            for (l, al) in acc.iter_mut().enumerate().take(nb) {
+                                *al += a * xd[(jb + l) * xn + c];
+                            }
+                        }
+                    }
+                    for (l, &al) in acc.iter().enumerate().take(nb) {
+                        // SAFETY: each (row, column) output element is
+                        // written exactly once, and parallel parts own
+                        // disjoint row bands.
+                        unsafe { *yp.ptr().add((jb + l) * n + i) = al };
+                    }
                 }
+                jb += nb;
             }
         };
         if n >= PAR_ROWS {
-            for_each_chunk_mut(&mut tmp, p, 0, row_kernel);
+            for_each_range(n, 0, band);
         } else {
-            tmp.chunks_mut(p)
-                .enumerate()
-                .for_each(|(i, out)| row_kernel(i, out));
-        }
-        for (i, chunk) in tmp.chunks(p).enumerate() {
-            for (l, &v) in chunk.iter().enumerate() {
-                y[(i, l)] = v;
-            }
+            band(0, n);
         }
     }
 

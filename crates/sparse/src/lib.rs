@@ -13,7 +13,9 @@
 //! * [`direct`] — the sparse direct solver (RCM + banded LU), the workspace's
 //!   stand-in for PARDISO (paper §V-B3, Fig. 6),
 //! * [`partition`] — coordinate/graph partitioning with δ-layer overlap
-//!   growth for the Schwarz preconditioners (stand-in for SCOTCH).
+//!   growth for the Schwarz preconditioners (stand-in for SCOTCH),
+//! * [`workspace`] — the [`workspace::SpmmWorkspace`] buffer pool that makes
+//!   per-iteration kernel calls allocation-free.
 
 pub mod band;
 pub mod coo;
@@ -22,7 +24,9 @@ pub mod direct;
 pub mod ops;
 pub mod order;
 pub mod partition;
+pub mod workspace;
 
 pub use coo::Coo;
 pub use csr::Csr;
 pub use direct::SparseDirect;
+pub use workspace::SpmmWorkspace;

@@ -1,0 +1,110 @@
+//! Reusable multivector buffers for allocation-free solver iterations.
+//!
+//! Every per-iteration kernel call used to allocate its `n × p` output
+//! (`apply_new`, cloned column blocks, fused batch buffers). With the SpMM
+//! and GEMM kernels overwriting their output in place, a small buffer pool
+//! threaded through the solver iteration state removes those allocations
+//! entirely after the first iteration: [`SpmmWorkspace::take`] hands out a
+//! zeroed `DMat` backed by a recycled allocation and [`SpmmWorkspace::put`]
+//! returns it once the iteration is done with it.
+
+use kryst_dense::DMat;
+use kryst_scalar::Scalar;
+
+/// A pool of reusable column-major buffers for `n × p` multivectors.
+///
+/// `take` prefers the free buffer whose backing capacity already fits the
+/// request, so steady-state solver iterations (fixed `n`, fixed block width
+/// `p`) allocate nothing. Buffers are zero-filled on `take`, preserving the
+/// exact semantics of a freshly allocated `DMat::zeros` — preconditioners
+/// that accumulate into their output see the same bytes either way.
+#[derive(Debug, Default)]
+pub struct SpmmWorkspace<S> {
+    free: Vec<Vec<S>>,
+}
+
+impl<S: Scalar> SpmmWorkspace<S> {
+    /// An empty workspace (no buffers held).
+    pub fn new() -> Self {
+        Self { free: Vec::new() }
+    }
+
+    /// A zeroed `nrows × ncols` matrix, reusing a pooled allocation when one
+    /// with sufficient capacity is available.
+    pub fn take(&mut self, nrows: usize, ncols: usize) -> DMat<S> {
+        let len = nrows * ncols;
+        // Prefer the free buffer with the largest capacity (LIFO would churn
+        // between differently-sized requests).
+        let pick = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.capacity() >= len)
+            .map(|(i, _)| i)
+            .next_back()
+            .or_else(|| {
+                if self.free.is_empty() {
+                    None
+                } else {
+                    Some(self.free.len() - 1)
+                }
+            });
+        let mut data = match pick {
+            Some(i) => self.free.swap_remove(i),
+            None => Vec::with_capacity(len),
+        };
+        data.clear();
+        data.resize(len, S::zero());
+        DMat::from_col_major(nrows, ncols, data)
+    }
+
+    /// Return a matrix's backing buffer to the pool for reuse.
+    pub fn put(&mut self, m: DMat<S>) {
+        self.free.push(m.into_vec());
+    }
+
+    /// Number of pooled free buffers (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_capacity() {
+        let mut ws = SpmmWorkspace::<f64>::new();
+        let a = ws.take(100, 4);
+        let cap_ptr = a.as_slice().as_ptr();
+        ws.put(a);
+        assert_eq!(ws.pooled(), 1);
+        let b = ws.take(100, 4);
+        assert_eq!(b.as_slice().as_ptr(), cap_ptr, "allocation must be reused");
+        assert!(b.as_slice().iter().all(|&x| x == 0.0), "buffer zeroed");
+        assert_eq!(ws.pooled(), 0);
+    }
+
+    #[test]
+    fn take_is_zeroed_after_dirty_use() {
+        let mut ws = SpmmWorkspace::<f64>::new();
+        let mut a = ws.take(8, 2);
+        a.fill(3.5);
+        ws.put(a);
+        let b = ws.take(8, 2);
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn shape_changes_reuse_when_capacity_fits() {
+        let mut ws = SpmmWorkspace::<f64>::new();
+        let a = ws.take(64, 8); // 512 elements
+        ws.put(a);
+        let b = ws.take(32, 4); // 128 elements — fits in the pooled buffer
+        assert_eq!((b.nrows(), b.ncols()), (32, 4));
+        ws.put(b);
+        let c = ws.take(128, 8); // grows the (single) pooled buffer
+        assert_eq!((c.nrows(), c.ncols()), (128, 8));
+    }
+}
