@@ -8,9 +8,9 @@
 //! maintains the incremental QR of the raw block Hessenberg so per-RHS
 //! residual estimates are available at every iteration.
 
-use crate::opts::PrecondSide;
+use crate::opts::{OrthPath, PrecondSide};
 use kryst_dense::chol;
-use kryst_dense::gs::{orthogonalize_block, OrthScheme};
+use kryst_dense::gs::{fused_orthogonalize_block, orthogonalize_block, OrthScheme};
 use kryst_dense::qr::IncrementalQr;
 use kryst_dense::{blas, DMat};
 use kryst_par::{CommStats, LinOp, PrecondOp};
@@ -87,6 +87,12 @@ pub struct BlockArnoldi<'a, S: Scalar> {
     m: usize,
     p: usize,
     orth: OrthScheme,
+    path: OrthPath,
+    /// Running estimate of the basis' mutual orthogonality loss on the fused
+    /// path (units of machine ε); single-pass steps multiply it by the
+    /// square of the step's cancellation amplification, re-orthogonalized
+    /// steps hold it.
+    fused_loss: f64,
     stats: Option<&'a CommStats>,
     /// Numerical rank of the initial residual block (breakdown detection).
     pub initial_rank: usize,
@@ -123,6 +129,8 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
             m,
             p,
             orth,
+            path: OrthPath::Classic,
+            fused_loss: f64::EPSILON,
             stats,
             initial_rank: p,
             last_step_rank: p,
@@ -137,6 +145,14 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         self
     }
 
+    /// Select the fused (communication-avoiding) or classic orthogonalization
+    /// path. Direct constructor callers default to [`OrthPath::Classic`] —
+    /// the pre-fusion behavior; solvers pass their `SolveOpts::ortho`.
+    pub fn with_path(mut self, path: OrthPath) -> Self {
+        self.path = path;
+        self
+    }
+
     /// Recover the buffer pool to hand to the next cycle.
     pub fn into_workspace(self) -> SpmmWorkspace<S> {
         self.ws
@@ -147,7 +163,21 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
     pub fn start(&mut self, r0: &DMat<S>) {
         assert_eq!(r0.ncols(), self.p);
         let mut q = r0.clone();
-        let out = chol::cholqr(&mut q);
+        // On the fused path the breakdown fixup must keep replacement
+        // columns orthogonal to the recycled block C: the fused Gram
+        // downdate of every later step assumes basis ⊥ C. The classic path
+        // keeps the plain fixup — it re-projects against C explicitly each
+        // step, and its traces must stay bit-identical to the pre-fusion
+        // solver.
+        let out = if self.path == OrthPath::Fused {
+            let ext: Vec<(&DMat<S>, usize)> = match self.c_proj {
+                Some(cm) => vec![(cm, cm.ncols())],
+                None => Vec::new(),
+            };
+            chol::cholqr_within(&mut q, &ext)
+        } else {
+            chol::cholqr(&mut q)
+        };
         self.initial_rank = out.rank;
         if let Some(st) = self.stats {
             st.record_reduction(self.p * self.p * std::mem::size_of::<S>());
@@ -155,6 +185,7 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         self.v.set_block(0, 0, &q);
         self.qr.reset(&out.r);
         self.j = 0;
+        self.fused_loss = f64::EPSILON;
     }
 
     /// Number of completed block iterations.
@@ -201,34 +232,69 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         }
         self.z.set_block(0, j * p, &zj);
         self.ws.put(zj);
-        // Inner orthogonalization against the recycled block C (one fused
-        // reduction — the extra communication of recycling, §III-D).
-        if let Some(c) = self.c_proj {
-            let ecol = blas::adjoint_times(c, &w);
-            if let Some(st) = self.stats {
-                st.record_reduction(std::mem::size_of_val(ecol.as_slice()));
-            }
-            blas::gemm(
-                -S::one(),
-                c,
-                blas::Op::None,
-                &ecol,
-                blas::Op::None,
-                S::one(),
+        // Orthogonalize against the recycled block C (if any) and the basis
+        // built so far. The fused path folds both projections and the Gram
+        // matrix into a single reduction per pass (§III-D); the classic path
+        // issues one reduction per projection pass plus one for the QR.
+        let fused_path = self.path == OrthPath::Fused
+            && matches!(self.orth, OrthScheme::Cgs | OrthScheme::CholQr);
+        let (coeffs, rfac) = if fused_path {
+            let out = fused_orthogonalize_block(
+                self.c_proj,
+                &self.v,
+                (j + 1) * p,
                 &mut w,
+                self.orth == OrthScheme::Cgs,
+                self.fused_loss,
             );
-            self.e.set_block(0, j * p, &ecol);
-        }
-        // Orthogonalize against the basis built so far.
-        let out = orthogonalize_block(&self.v, (j + 1) * p, &mut w, self.orth);
-        self.last_step_rank = out.rank;
-        if let Some(st) = self.stats {
-            st.record_reductions(out.reductions, (j + 2) * p * p * std::mem::size_of::<S>());
-        }
+            self.last_step_rank = out.rank;
+            if out.passes == 1 {
+                self.fused_loss *= out.amp * out.amp;
+            }
+            if let Some(st) = self.stats {
+                st.record_fused_reductions(
+                    out.reductions,
+                    out.reduction_parts,
+                    out.reduction_elems * std::mem::size_of::<S>(),
+                );
+            }
+            if let Some(ec) = &out.c_coeffs {
+                self.e.set_block(0, j * p, ec);
+            }
+            (out.coeffs, out.r)
+        } else {
+            // Inner orthogonalization against the recycled block C (one
+            // reduction — the extra communication of recycling, §III-D).
+            if let Some(c) = self.c_proj {
+                let ecol = blas::adjoint_times(c, &w);
+                if let Some(st) = self.stats {
+                    st.record_reduction(std::mem::size_of_val(ecol.as_slice()));
+                }
+                blas::gemm(
+                    -S::one(),
+                    c,
+                    blas::Op::None,
+                    &ecol,
+                    blas::Op::None,
+                    S::one(),
+                    &mut w,
+                );
+                self.e.set_block(0, j * p, &ecol);
+            }
+            let out = orthogonalize_block(&self.v, (j + 1) * p, &mut w, self.orth);
+            self.last_step_rank = out.rank;
+            if let Some(st) = self.stats {
+                st.record_reductions(
+                    out.reductions,
+                    out.reduction_elems * std::mem::size_of::<S>(),
+                );
+            }
+            (out.coeffs, out.r)
+        };
         // Assemble the new Hessenberg block column [coeffs; r].
         let mut hcol = DMat::zeros((j + 2) * p, p);
-        hcol.set_block(0, 0, &out.coeffs);
-        hcol.set_block((j + 1) * p, 0, &out.r);
+        hcol.set_block(0, 0, &coeffs);
+        hcol.set_block((j + 1) * p, 0, &rfac);
         self.hraw.set_block(0, j * p, &hcol);
         self.qr.push_block(&hcol);
         self.v.set_block(0, (j + 1) * p, &w);

@@ -162,6 +162,7 @@ pub fn solve<S: Scalar>(
     if space.is_none() {
         let cyc_probe = tracer.span_start();
         let mut arn = BlockArnoldi::new(a, &mode, m, p, opts.orth, None, stats)
+            .with_path(opts.ortho)
             .with_workspace(std::mem::take(&mut ws));
         arn.start(&r);
         let mut done = false;
@@ -259,6 +260,7 @@ pub fn solve<S: Scalar>(
         let m_inner = (m - k_blocks.min(m - 1)).max(1);
         let cyc_probe = tracer.span_start();
         let mut arn = BlockArnoldi::new(a, &mode, m_inner, p, opts.orth, Some(&rec.c), stats)
+            .with_path(opts.ortho)
             .with_workspace(std::mem::take(&mut ws));
         arn.start(&r);
         let mut done = false;

@@ -58,6 +58,7 @@ pub fn solve<S: Scalar>(
     while iters < opts.max_iters {
         let cyc = tracer.span_start();
         let mut arn = BlockArnoldi::new(a, &mode, m, p, opts.orth, None, opts.stats.as_deref())
+            .with_path(opts.ortho)
             .with_workspace(std::mem::take(&mut ws));
         arn.start(&r);
         let mut first = true;
@@ -285,25 +286,57 @@ mod tests {
 
     #[test]
     fn reduction_counts_scale_with_iterations() {
+        use crate::opts::OrthPath;
         use kryst_par::CommStats;
         let prob = poisson2d::<f64>(12, 12);
         let n = prob.a.nrows();
         let id = IdentityPrecond::new(n);
         let b = DMat::from_fn(n, 1, |i, _| (i % 4) as f64);
+
+        // Classic path (CholQR scheme): 3 reductions per iteration + 1 per
+        // cycle start.
         let stats = CommStats::new_shared();
         let opts = SolveOpts {
             rtol: 1e-8,
+            ortho: OrthPath::Classic,
             stats: Some(std::sync::Arc::clone(&stats)),
             ..Default::default()
         };
         let mut x = DMat::zeros(n, 1);
         let res = solve(&prob.a, &id, &b, &mut x, &opts);
         let snap = stats.snapshot();
-        // CholQR scheme: 3 reductions per iteration + 1 per cycle start.
         assert!(snap.reductions as usize >= 3 * res.iterations);
         assert!(
             snap.reductions as usize
                 <= 3 * res.iterations + 3 * (res.iterations / opts.restart + 2)
         );
+
+        // Fused path: one reduction per iteration + 1 per cycle start, with
+        // the same iteration trajectory (up to an occasional adaptive
+        // re-orthogonalization pass).
+        let fstats = CommStats::new_shared();
+        let fopts = SolveOpts {
+            rtol: 1e-8,
+            ortho: OrthPath::Fused,
+            stats: Some(std::sync::Arc::clone(&fstats)),
+            ..Default::default()
+        };
+        let mut xf = DMat::zeros(n, 1);
+        let fres = solve(&prob.a, &id, &b, &mut xf, &fopts);
+        assert_eq!(
+            fres.iterations, res.iterations,
+            "fused must not change convergence"
+        );
+        let fsnap = fstats.snapshot();
+        let cycles = fres.iterations.div_ceil(fopts.restart).max(1);
+        assert!(fsnap.reductions as usize >= fres.iterations + cycles);
+        assert!(
+            (fsnap.reductions as usize) < snap.reductions as usize,
+            "fused path must issue fewer reductions ({} vs {})",
+            fsnap.reductions,
+            snap.reductions
+        );
+        // Each fused reduction carried at least the V-projection + Gram parts.
+        assert!(fsnap.fused_parts >= 2 * (fres.iterations as u64 - 1));
     }
 }

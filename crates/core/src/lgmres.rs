@@ -57,7 +57,8 @@ pub fn solve<S: Scalar>(
             opts.orth,
             None,
             opts.stats.as_deref(),
-        );
+        )
+        .with_path(opts.ortho);
         arn.start(&r);
         let mut first = true;
         while arn.can_step() && iters < opts.max_iters {

@@ -50,7 +50,7 @@ pub mod trace;
 
 pub use cycle::PrecondMode;
 pub use gcrodr::{RecycleSpace, SolverContext};
-pub use opts::{PrecondSide, RecycleStrategy, SolveOpts, SolveResult};
+pub use opts::{OrthPath, PrecondSide, RecycleStrategy, SolveOpts, SolveResult};
 pub use trace::SolveTracer;
 
 pub use kryst_dense::gs::OrthScheme;

@@ -33,6 +33,46 @@ pub enum RecycleStrategy {
     B,
 }
 
+/// Which orthogonalization *path* the Arnoldi cycles take — orthogonal to
+/// the [`OrthScheme`] choice (which picks the projection arithmetic).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OrthPath {
+    /// Communication-avoiding path: one fused `[CᴴW; VᴴW; WᴴW]` reduction
+    /// per iteration (two when re-orthogonalized), with the CholQR factor
+    /// coming from a Gram downdate at zero extra reductions. Applies to the
+    /// CGS/CholQR schemes; MGS/IMGS are inherently per-column and stay on
+    /// the classic path.
+    Fused,
+    /// The classic multi-reduction path (separate `CᴴW`, `VᴴW`-per-pass and
+    /// Gram products) — the pre-fusion behavior, golden-trace compatible.
+    Classic,
+}
+
+impl OrthPath {
+    /// Resolve from the environment: `KRYST_FUSE=0` selects [`OrthPath::Classic`],
+    /// anything else (including unset) the fused default.
+    pub fn from_env() -> Self {
+        match std::env::var("KRYST_FUSE") {
+            Ok(v) if v == "0" => OrthPath::Classic,
+            _ => OrthPath::Fused,
+        }
+    }
+
+    /// Stable lowercase name used in traces and benchmarks.
+    pub fn name(self) -> &'static str {
+        match self {
+            OrthPath::Fused => "fused",
+            OrthPath::Classic => "classic",
+        }
+    }
+}
+
+impl Default for OrthPath {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
 /// Options shared by every solver in the crate.
 #[derive(Clone)]
 pub struct SolveOpts {
@@ -48,6 +88,9 @@ pub struct SolveOpts {
     pub side: PrecondSide,
     /// Orthogonalization backend (paper advocates CholQR).
     pub orth: OrthScheme,
+    /// Fused (communication-avoiding) vs classic orthogonalization path.
+    /// Defaults from the `KRYST_FUSE` environment variable (`0` → classic).
+    pub ortho: OrthPath,
     /// Deflation eigenproblem formulation.
     pub recycle_strategy: RecycleStrategy,
     /// The operator is identical to the previous solve's
@@ -73,6 +116,7 @@ impl Default for SolveOpts {
             recycle: 10,
             side: PrecondSide::Right,
             orth: OrthScheme::CholQr,
+            ortho: OrthPath::from_env(),
             recycle_strategy: RecycleStrategy::A,
             same_system: false,
             stats: None,

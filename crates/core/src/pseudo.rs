@@ -21,6 +21,7 @@ use crate::gcrodr::{self, SolverContext};
 use crate::gmres;
 use crate::opts::{SolveOpts, SolveResult};
 use crate::trace::SolveTracer;
+use kryst_dense::gs::OrthScheme;
 use kryst_dense::DMat;
 use kryst_par::{LinOp, PrecondOp};
 use kryst_scalar::Scalar;
@@ -310,9 +311,17 @@ pub fn solve<S: Scalar>(
     // synthesized iteration events below tile the solve total exactly.
     let orth_name = opts.orth.name();
     let m = opts.restart.max(1);
+    let fused_path = opts.ortho == crate::opts::OrthPath::Fused
+        && matches!(opts.orth, OrthScheme::Cgs | OrthScheme::CholQr);
     for it in 0..iterations {
         if let Some(st) = &opts.stats {
-            st.record_reductions(3, 3 * p * std::mem::size_of::<S>());
+            if fused_path {
+                // The fused path ships the batch's projection + Gram parts
+                // in a single reduction round (one latency charge).
+                st.record_fused_reductions(1, 3, 3 * p * std::mem::size_of::<S>());
+            } else {
+                st.record_reductions(3, 3 * p * std::mem::size_of::<S>());
+            }
         }
         // Per-RHS residual at this fused step; converged members hold their
         // final value.

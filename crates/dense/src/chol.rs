@@ -127,6 +127,21 @@ pub struct CholQr<S: Scalar> {
 /// columns are replaced by re-orthogonalized unit vectors, mirroring the
 /// paper's breakdown detection.
 pub fn cholqr<S: Scalar>(v: &mut DMat<S>) -> CholQr<S> {
+    cholqr_within(v, &[])
+}
+
+/// [`cholqr`] with replacement columns kept orthogonal to external bases.
+///
+/// On the breakdown path the deficient columns are replaced by
+/// re-orthogonalized canonical directions; each `(block, ncols)` pair in
+/// `ext` names an orthonormal block the replacements must ALSO be
+/// orthogonal to (the recycled space `C` and the Arnoldi basis `V`). The
+/// fused communication-avoiding path needs this: its Gram downdate assumes
+/// every basis column is orthogonal to `C` and the earlier `V` columns, an
+/// invariant a plain canonical-vector fixup silently breaks. With `ext`
+/// empty this is exactly [`cholqr`]; the well-conditioned fast path never
+/// looks at `ext` at all.
+pub fn cholqr_within<S: Scalar>(v: &mut DMat<S>, ext: &[(&DMat<S>, usize)]) -> CholQr<S> {
     let p = v.ncols();
     let gram = blas::adjoint_times(v, v);
     if let Some(r) = cholesky(&gram) {
@@ -153,13 +168,17 @@ pub fn cholqr<S: Scalar>(v: &mut DMat<S>) -> CholQr<S> {
     }
     // Breakdown path: rank-revealing factorization of the Gram matrix.
     let piv = pivoted_cholesky(&gram, S::Real::epsilon() * S::Real::from_f64(256.0));
-    rank_revealing_fixup(v, piv)
+    rank_revealing_fixup(v, piv, ext)
 }
 
 /// Apply the pivoted-Cholesky factor to produce an orthonormal `Q` spanning
 /// the numerical range, with deficient columns replaced (re-orthogonalized
 /// canonical directions) so downstream code always sees a full block.
-fn rank_revealing_fixup<S: Scalar>(v: &mut DMat<S>, piv: PivotedCholesky<S>) -> CholQr<S> {
+fn rank_revealing_fixup<S: Scalar>(
+    v: &mut DMat<S>,
+    piv: PivotedCholesky<S>,
+    ext: &[(&DMat<S>, usize)],
+) -> CholQr<S> {
     let p = v.ncols();
     let rank = piv.rank.max(1).min(p);
     // Permute columns of V to pivot order, solve against the leading rank×rank R.
@@ -176,9 +195,23 @@ fn rank_revealing_fixup<S: Scalar>(v: &mut DMat<S>, piv: PivotedCholesky<S>) -> 
         let n = v.nrows();
         let mut e = vec![S::zero(); n];
         e[k % n] = S::one();
-        // Orthogonalize against everything accumulated so far — the leading
-        // range AND earlier replacement columns.
+        // Orthogonalize against everything accumulated so far — external
+        // bases (recycled space / Arnoldi basis), the leading range AND
+        // earlier replacement columns. The replacements multiply zero rows
+        // of R, so reshaping them never perturbs the factorization V = Q·R.
         for _pass in 0..2 {
+            for (m, nc) in ext {
+                for j in 0..*nc {
+                    let mj = m.col(j);
+                    let mut dot = S::zero();
+                    for (qi, ei) in mj.iter().zip(e.iter()) {
+                        dot += qi.conj() * *ei;
+                    }
+                    for (qi, ei) in mj.iter().zip(e.iter_mut()) {
+                        *ei -= dot * *qi;
+                    }
+                }
+            }
             for j in 0..q_lead.ncols() {
                 let qj = q_lead.col(j);
                 let mut dot = S::zero();

@@ -1,0 +1,236 @@
+//! Fused Gram + projection products for communication-avoiding
+//! orthogonalization.
+//!
+//! The classic block-Arnoldi step issues one reduction per product: `CᴴW`
+//! (recycle projection), `VᴴW` (Hessenberg projection), `WᴴW` (CholQR Gram).
+//! [`fused_gram`] computes the stacked product `[B₀ B₁ …]ᴴ·W` for a list of
+//! column-major source panels in a single depth-blocked sweep: each `KB × p`
+//! panel of `W` is loaded once and reused across *every* source column, so
+//! all the partial products advance together in one pass over memory — and,
+//! in a distributed run, the stacked result is **one** all-reduce where the
+//! classic path pays one per panel (the §III-D latency the paper counts).
+//!
+//! [`fused_update`] is the matching projection update `W ⟵ W − Σ B_b·C_b`,
+//! again one depth-blocked sweep of `W` for all panels.
+//!
+//! Panels are borrowed views ([`ColsRef`]), so the leading columns of a
+//! pre-allocated basis enter the product without being copied out first.
+
+use crate::DMat;
+use kryst_scalar::Scalar;
+
+/// A borrowed column-major panel (`nrows × ncols`) — e.g. the leading
+/// columns of a wider basis matrix, viewed without copying.
+#[derive(Clone, Copy)]
+pub struct ColsRef<'a, S> {
+    data: &'a [S],
+    nrows: usize,
+    ncols: usize,
+}
+
+impl<'a, S: Scalar> ColsRef<'a, S> {
+    /// View over a raw column-major slice of shape `nrows × ncols`.
+    pub fn new(data: &'a [S], nrows: usize, ncols: usize) -> Self {
+        assert_eq!(data.len(), nrows * ncols);
+        Self { data, nrows, ncols }
+    }
+
+    /// The leading `ncols` columns of `m`, borrowed (columns are contiguous
+    /// in the column-major layout, so this is a plain sub-slice).
+    pub fn leading(m: &'a DMat<S>, ncols: usize) -> Self {
+        assert!(ncols <= m.ncols());
+        Self::new(&m.as_slice()[..ncols * m.nrows()], m.nrows(), ncols)
+    }
+
+    /// View of the whole matrix.
+    pub fn whole(m: &'a DMat<S>) -> Self {
+        Self::new(m.as_slice(), m.nrows(), m.ncols())
+    }
+
+    /// Panel column count.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Panel row count.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    fn col(&self, j: usize) -> &'a [S] {
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+}
+
+/// Depth (row) blocking for the fused sweeps: a `KB × p` panel of `W` stays
+/// resident in cache while every source column is streamed against it.
+const KB: usize = 512;
+
+/// Conjugated dot product over equal-length slices, split across four
+/// accumulators to break the FMA dependence chain.
+#[inline]
+fn dot_conj<S: Scalar>(a: &[S], b: &[S]) -> S {
+    let n = a.len();
+    let n4 = n & !3;
+    let mut acc = [S::zero(); 4];
+    let mut i = 0;
+    while i < n4 {
+        acc[0] += a[i].conj() * b[i];
+        acc[1] += a[i + 1].conj() * b[i + 1];
+        acc[2] += a[i + 2].conj() * b[i + 2];
+        acc[3] += a[i + 3].conj() * b[i + 3];
+        i += 4;
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    while i < n {
+        s += a[i].conj() * b[i];
+        i += 1;
+    }
+    s
+}
+
+/// Stacked adjoint product `[B₀; B₁; …] = [B₀ B₁ …]ᴴ · W`, one depth-blocked
+/// pass over `W`. The output is `(Σ ncols) × p` with panel `b`'s rows
+/// starting at `Σ_{a<b} ncols_a`. All panels must share `W`'s row count.
+pub fn fused_gram<S: Scalar>(blocks: &[ColsRef<'_, S>], w: &DMat<S>) -> DMat<S> {
+    let n = w.nrows();
+    let p = w.ncols();
+    let total: usize = blocks.iter().map(|b| b.ncols).sum();
+    let mut out = DMat::zeros(total, p);
+    let od = out.as_mut_slice();
+    let mut k0 = 0;
+    while k0 < n {
+        let k1 = (k0 + KB).min(n);
+        let mut row0 = 0;
+        for b in blocks {
+            assert_eq!(b.nrows, n, "panel row count must match W");
+            for i in 0..b.ncols {
+                let bi = &b.col(i)[k0..k1];
+                for l in 0..p {
+                    od[l * total + row0 + i] += dot_conj(bi, &w.col(l)[k0..k1]);
+                }
+            }
+            row0 += b.ncols;
+        }
+        k0 = k1;
+    }
+    out
+}
+
+/// Fused projection update `W ⟵ W − Σ_b B_b·C_b`, one depth-blocked sweep
+/// of `W` for all panels. `coeffs[b]` must be `blocks[b].ncols × p`.
+pub fn fused_update<S: Scalar>(blocks: &[ColsRef<'_, S>], coeffs: &[&DMat<S>], w: &mut DMat<S>) {
+    assert_eq!(blocks.len(), coeffs.len());
+    let n = w.nrows();
+    let p = w.ncols();
+    for (b, c) in blocks.iter().zip(coeffs) {
+        assert_eq!(b.nrows, n, "panel row count must match W");
+        assert_eq!(c.nrows(), b.ncols, "coefficient rows must match panel");
+        assert_eq!(c.ncols(), p, "coefficient columns must match W");
+    }
+    let mut k0 = 0;
+    while k0 < n {
+        let k1 = (k0 + KB).min(n);
+        for l in 0..p {
+            let wl = &mut w.col_mut(l)[k0..k1];
+            for (b, c) in blocks.iter().zip(coeffs) {
+                for i in 0..b.ncols {
+                    let cil = c[(i, l)];
+                    if cil == S::zero() {
+                        continue;
+                    }
+                    let bi = &b.col(i)[k0..k1];
+                    for (wk, bk) in wl.iter_mut().zip(bi) {
+                        *wk -= cil * *bk;
+                    }
+                }
+            }
+        }
+        k0 = k1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{self, Op};
+    use kryst_scalar::C64;
+
+    #[test]
+    fn fused_gram_matches_separate_products() {
+        let n = 1100; // crosses the KB boundary
+        let a = DMat::from_fn(n, 3, |i, j| ((i * 3 + j * 7) % 11) as f64 - 5.0);
+        let v = DMat::from_fn(n, 5, |i, j| ((i + j * 13) % 17) as f64 - 8.0);
+        let w = DMat::from_fn(n, 2, |i, j| ((i * 2 + j) % 9) as f64 - 4.0);
+        let s = fused_gram(
+            &[ColsRef::whole(&a), ColsRef::whole(&v), ColsRef::whole(&w)],
+            &w,
+        );
+        assert_eq!(s.nrows(), 10);
+        assert_eq!(s.ncols(), 2);
+        let aw = blas::adjoint_times(&a, &w);
+        let vw = blas::adjoint_times(&v, &w);
+        let ww = blas::adjoint_times(&w, &w);
+        for l in 0..2 {
+            for i in 0..3 {
+                assert!((s[(i, l)] - aw[(i, l)]).abs() < 1e-9 * aw[(i, l)].abs().max(1.0));
+            }
+            for i in 0..5 {
+                assert!((s[(3 + i, l)] - vw[(i, l)]).abs() < 1e-9 * vw[(i, l)].abs().max(1.0));
+            }
+            for i in 0..2 {
+                assert!((s[(8 + i, l)] - ww[(i, l)]).abs() < 1e-9 * ww[(i, l)].abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn leading_view_borrows_prefix_columns() {
+        let v = DMat::from_fn(40, 6, |i, j| (i * 6 + j) as f64);
+        let w = DMat::from_fn(40, 2, |i, j| ((i + j) % 5) as f64 - 2.0);
+        let s = fused_gram(&[ColsRef::leading(&v, 4)], &w);
+        let vlead = v.cols(0, 4);
+        let want = blas::adjoint_times(&vlead, &w);
+        for i in 0..4 {
+            for l in 0..2 {
+                assert!((s[(i, l)] - want[(i, l)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_update_matches_gemm() {
+        let n = 700;
+        let v = DMat::from_fn(n, 4, |i, j| ((i * 5 + j) % 13) as f64 - 6.0);
+        let c = DMat::from_fn(4, 3, |i, j| (i as f64 - j as f64) * 0.5);
+        let w0 = DMat::from_fn(n, 3, |i, j| ((i + 2 * j) % 7) as f64 - 3.0);
+        let mut w = w0.clone();
+        fused_update(&[ColsRef::whole(&v)], &[&c], &mut w);
+        let mut want = w0.clone();
+        blas::gemm(-1.0, &v, Op::None, &c, Op::None, 1.0, &mut want);
+        for i in 0..n {
+            for l in 0..3 {
+                assert!((w[(i, l)] - want[(i, l)]).abs() < 1e-10, "({i},{l})");
+            }
+        }
+    }
+
+    #[test]
+    fn complex_fused_gram_conjugates() {
+        let n = 50;
+        let a = DMat::<C64>::from_fn(n, 2, |i, j| {
+            C64::from_parts((i % 5) as f64, (j + 1) as f64 * 0.5)
+        });
+        let w = DMat::<C64>::from_fn(n, 2, |i, j| {
+            C64::from_parts(((i + j) % 3) as f64 - 1.0, (i % 4) as f64)
+        });
+        let s = fused_gram(&[ColsRef::whole(&a)], &w);
+        let want = blas::adjoint_times(&a, &w);
+        for i in 0..2 {
+            for l in 0..2 {
+                assert!((s[(i, l)] - want[(i, l)]).abs() < 1e-10);
+            }
+        }
+    }
+}

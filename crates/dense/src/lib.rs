@@ -12,7 +12,10 @@
 //!   eq. (2) relies on this),
 //! * [`chol`]: Cholesky, pivoted (rank-revealing) Cholesky, and CholQR — the
 //!   orthogonalization scheme the paper advocates (§III-A),
-//! * [`gs`]: classical / modified / iterated-modified Gram–Schmidt,
+//! * [`gs`]: classical / modified / iterated-modified Gram–Schmidt, plus the
+//!   low-synchronization fused block orthogonalization (§III-D),
+//! * [`fused`]: fused Gram+projection products — `[CᴴW; VᴴW; WᴴW]` in one
+//!   sweep, one reduction instead of `j+2`,
 //! * [`tsqr`]: communication-avoiding tall-skinny QR by tree reduction,
 //! * [`lu`]: LU with partial pivoting (complex-capable),
 //! * [`eig`]: complex Hessenberg QR eigensolver with Schur vectors, plus the
@@ -25,6 +28,7 @@
 pub mod blas;
 pub mod chol;
 pub mod eig;
+pub mod fused;
 pub mod gs;
 pub mod lu;
 pub mod mat;

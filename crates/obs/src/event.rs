@@ -19,12 +19,17 @@ pub struct CommDelta {
     pub reductions: u64,
     /// Payload bytes reduced.
     pub reduction_bytes: u64,
+    /// Logically separate products batched into the recorded reductions
+    /// (a fused `[CᴴW; VᴴW; WᴴW]` reduction counts 1 reduction, 3 parts).
+    pub fused_parts: u64,
     /// Point-to-point messages.
     pub p2p_messages: u64,
     /// Point-to-point payload bytes.
     pub p2p_bytes: u64,
     /// Local floating-point operations.
     pub flops: u64,
+    /// Portion of `flops` overlappable with in-flight halo messages.
+    pub overlap_flops: u64,
 }
 
 impl Add for CommDelta {
@@ -33,9 +38,11 @@ impl Add for CommDelta {
         CommDelta {
             reductions: self.reductions + o.reductions,
             reduction_bytes: self.reduction_bytes + o.reduction_bytes,
+            fused_parts: self.fused_parts + o.fused_parts,
             p2p_messages: self.p2p_messages + o.p2p_messages,
             p2p_bytes: self.p2p_bytes + o.p2p_bytes,
             flops: self.flops + o.flops,
+            overlap_flops: self.overlap_flops + o.overlap_flops,
         }
     }
 }
@@ -213,23 +220,29 @@ mod tests {
         let a = CommDelta {
             reductions: 1,
             reduction_bytes: 8,
+            fused_parts: 3,
             p2p_messages: 2,
             p2p_bytes: 64,
             flops: 100,
+            overlap_flops: 60,
         };
         let b = CommDelta {
             reductions: 3,
             reduction_bytes: 16,
+            fused_parts: 0,
             p2p_messages: 1,
             p2p_bytes: 32,
             flops: 50,
+            overlap_flops: 10,
         };
         let c = a + b;
         assert_eq!(c.reductions, 4);
         assert_eq!(c.reduction_bytes, 24);
+        assert_eq!(c.fused_parts, 3);
         assert_eq!(c.p2p_messages, 3);
         assert_eq!(c.p2p_bytes, 96);
         assert_eq!(c.flops, 150);
+        assert_eq!(c.overlap_flops, 70);
         let mut d = a;
         d += b;
         assert_eq!(d, c);

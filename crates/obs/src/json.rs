@@ -95,18 +95,30 @@ pub fn event_to_json(ev: &Event) -> String {
 fn push_comm_fields(s: &mut String, c: &CommDelta) {
     let _ = write!(
         s,
-        "\"reductions_delta\":{},\"reduction_bytes_delta\":{},\"p2p_delta\":{},\
-         \"p2p_bytes_delta\":{},\"flops_delta\":{}",
-        c.reductions, c.reduction_bytes, c.p2p_messages, c.p2p_bytes, c.flops
+        "\"reductions_delta\":{},\"reduction_bytes_delta\":{},\"fused_parts_delta\":{},\
+         \"p2p_delta\":{},\"p2p_bytes_delta\":{},\"flops_delta\":{},\"overlap_flops_delta\":{}",
+        c.reductions,
+        c.reduction_bytes,
+        c.fused_parts,
+        c.p2p_messages,
+        c.p2p_bytes,
+        c.flops,
+        c.overlap_flops
     );
 }
 
 fn push_comm_total_fields(s: &mut String, c: &CommDelta) {
     let _ = write!(
         s,
-        "\"reductions_total\":{},\"reduction_bytes_total\":{},\"p2p_total\":{},\
-         \"p2p_bytes_total\":{},\"flops_total\":{}",
-        c.reductions, c.reduction_bytes, c.p2p_messages, c.p2p_bytes, c.flops
+        "\"reductions_total\":{},\"reduction_bytes_total\":{},\"fused_parts_total\":{},\
+         \"p2p_total\":{},\"p2p_bytes_total\":{},\"flops_total\":{},\"overlap_flops_total\":{}",
+        c.reductions,
+        c.reduction_bytes,
+        c.fused_parts,
+        c.p2p_messages,
+        c.p2p_bytes,
+        c.flops,
+        c.overlap_flops
     );
 }
 
@@ -408,9 +420,11 @@ mod tests {
             comm: CommDelta {
                 reductions: 3,
                 reduction_bytes: 72,
+                fused_parts: 6,
                 p2p_messages: 14,
                 p2p_bytes: 4096,
                 flops: 12345,
+                overlap_flops: 2345,
             },
             orth_backend: "cholqr",
             breakdown_rank: Some(1),
@@ -423,6 +437,8 @@ mod tests {
         assert_eq!(v.get("cycle").unwrap().as_usize(), Some(1));
         assert_eq!(v.get("iter").unwrap().as_usize(), Some(37));
         assert_eq!(v.get("reductions_delta").unwrap().as_usize(), Some(3));
+        assert_eq!(v.get("fused_parts_delta").unwrap().as_usize(), Some(6));
+        assert_eq!(v.get("overlap_flops_delta").unwrap().as_usize(), Some(2345));
         assert_eq!(v.get("p2p_delta").unwrap().as_usize(), Some(14));
         assert_eq!(v.get("breakdown_rank").unwrap().as_usize(), Some(1));
         let res = v.get("per_rhs_residuals").unwrap().as_array().unwrap();

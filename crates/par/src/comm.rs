@@ -14,9 +14,11 @@ use std::sync::Arc;
 pub struct CommStats {
     reductions: AtomicU64,
     reduction_bytes: AtomicU64,
+    fused_parts: AtomicU64,
     p2p_messages: AtomicU64,
     p2p_bytes: AtomicU64,
     flops: AtomicU64,
+    overlap_flops: AtomicU64,
 }
 
 /// A point-in-time copy of [`CommStats`].
@@ -26,12 +28,18 @@ pub struct CommSnapshot {
     pub reductions: u64,
     /// Payload bytes reduced (per-rank contribution).
     pub reduction_bytes: u64,
+    /// Logically separate products batched into the recorded reductions
+    /// (a fused `[CᴴW; VᴴW; WᴴW]` reduction counts 1 reduction, 3 parts).
+    pub fused_parts: u64,
     /// Point-to-point messages (summed over all ranks).
     pub p2p_messages: u64,
     /// Point-to-point payload bytes (summed over all ranks).
     pub p2p_bytes: u64,
     /// Local floating-point operations (summed over all ranks).
     pub flops: u64,
+    /// Portion of `flops` overlappable with in-flight halo messages
+    /// (interior SpMM work done while the exchange is on the wire).
+    pub overlap_flops: u64,
 }
 
 impl CommStats {
@@ -56,6 +64,17 @@ impl CommStats {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Record `count` *fused* reductions batching `parts` logically separate
+    /// products into `bytes` total payload: one latency charge per reduction,
+    /// summed bytes (§III-D's batching argument).
+    #[inline]
+    pub fn record_fused_reductions(&self, count: usize, parts: usize, bytes: usize) {
+        self.reductions.fetch_add(count as u64, Ordering::Relaxed);
+        self.fused_parts.fetch_add(parts as u64, Ordering::Relaxed);
+        self.reduction_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     /// Record a halo exchange: `messages` point-to-point sends moving `bytes`
     /// in total.
     #[inline]
@@ -71,14 +90,24 @@ impl CommStats {
         self.flops.fetch_add(flops as u64, Ordering::Relaxed);
     }
 
+    /// Record the portion of already-counted flops that can hide behind an
+    /// in-flight halo exchange (interior rows of an overlapped SpMM).
+    #[inline]
+    pub fn record_overlap_flops(&self, flops: usize) {
+        self.overlap_flops
+            .fetch_add(flops as u64, Ordering::Relaxed);
+    }
+
     /// Copy out the counters.
     pub fn snapshot(&self) -> CommSnapshot {
         CommSnapshot {
             reductions: self.reductions.load(Ordering::Relaxed),
             reduction_bytes: self.reduction_bytes.load(Ordering::Relaxed),
+            fused_parts: self.fused_parts.load(Ordering::Relaxed),
             p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
             p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
             flops: self.flops.load(Ordering::Relaxed),
+            overlap_flops: self.overlap_flops.load(Ordering::Relaxed),
         }
     }
 
@@ -86,9 +115,11 @@ impl CommStats {
     pub fn reset(&self) {
         self.reductions.store(0, Ordering::Relaxed);
         self.reduction_bytes.store(0, Ordering::Relaxed);
+        self.fused_parts.store(0, Ordering::Relaxed);
         self.p2p_messages.store(0, Ordering::Relaxed);
         self.p2p_bytes.store(0, Ordering::Relaxed);
         self.flops.store(0, Ordering::Relaxed);
+        self.overlap_flops.store(0, Ordering::Relaxed);
     }
 }
 
@@ -98,9 +129,11 @@ impl CommSnapshot {
         CommSnapshot {
             reductions: self.reductions - earlier.reductions,
             reduction_bytes: self.reduction_bytes - earlier.reduction_bytes,
+            fused_parts: self.fused_parts - earlier.fused_parts,
             p2p_messages: self.p2p_messages - earlier.p2p_messages,
             p2p_bytes: self.p2p_bytes - earlier.p2p_bytes,
             flops: self.flops - earlier.flops,
+            overlap_flops: self.overlap_flops - earlier.overlap_flops,
         }
     }
 
@@ -109,9 +142,11 @@ impl CommSnapshot {
         kryst_obs::CommDelta {
             reductions: self.reductions,
             reduction_bytes: self.reduction_bytes,
+            fused_parts: self.fused_parts,
             p2p_messages: self.p2p_messages,
             p2p_bytes: self.p2p_bytes,
             flops: self.flops,
+            overlap_flops: self.overlap_flops,
         }
     }
 }
@@ -180,6 +215,28 @@ mod tests {
         assert_eq!(snap.reduction_bytes, 72);
         assert_eq!(snap.p2p_messages, 4);
         assert_eq!(snap.flops, 1000);
+        s.reset();
+        assert_eq!(s.snapshot(), CommSnapshot::default());
+    }
+
+    #[test]
+    fn fused_reductions_charge_one_latency_with_summed_bytes() {
+        let s = CommStats::new_shared();
+        // Three products batched into ONE reduction: 1 latency charge,
+        // 3 parts, summed payload.
+        s.record_fused_reductions(1, 3, 24 + 40 + 16);
+        s.record_overlap_flops(500);
+        s.record_flops(800);
+        let snap = s.snapshot();
+        assert_eq!(snap.reductions, 1);
+        assert_eq!(snap.fused_parts, 3);
+        assert_eq!(snap.reduction_bytes, 80);
+        assert_eq!(snap.flops, 800);
+        assert_eq!(snap.overlap_flops, 500);
+        // New fields participate in since/reset like the rest.
+        let d = s.snapshot().since(&CommSnapshot::default());
+        assert_eq!(d.fused_parts, 3);
+        assert_eq!(d.overlap_flops, 500);
         s.reset();
         assert_eq!(s.snapshot(), CommSnapshot::default());
     }

@@ -35,3 +35,4 @@ pub use cost::{CostModel, ModeledTime};
 pub use halo::HaloPlan;
 pub use layout::Layout;
 pub use op::{DistOp, IdentityPrecond, LinOp, PrecondOp, ProjectedOp};
+pub use spmd::reduce_stages;

@@ -6,9 +6,28 @@
 //! genuine message passing and check the results (and message counts) agree
 //! with the instrumented sequential execution.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+
+/// Message stages of one butterfly all-reduce on `p` ranks: `log₂ p` for a
+/// power of two, `⌊log₂ p⌋ + 2` otherwise (one fold-in stage collapsing the
+/// excess ranks onto the power-of-two core, the butterfly, one unfold stage).
+/// This is what [`RankCtx::all_reduce_sum`] actually executes and what the
+/// cost model charges per reduction — always ≤ the `2·⌈log₂ P⌉` of the
+/// reduce-then-broadcast tree it replaced.
+pub fn reduce_stages(p: usize) -> u32 {
+    if p <= 1 {
+        return 0;
+    }
+    let log = p.ilog2();
+    if p.is_power_of_two() {
+        log
+    } else {
+        log + 2
+    }
+}
 
 /// Handle given to each rank's closure.
 pub struct RankCtx {
@@ -19,6 +38,7 @@ pub struct RankCtx {
     receivers: Vec<Receiver<Vec<f64>>>,
     barrier: Arc<std::sync::Barrier>,
     msg_count: Arc<AtomicU64>,
+    stage_count: Cell<u64>,
 }
 
 impl RankCtx {
@@ -43,40 +63,88 @@ impl RankCtx {
         self.receivers[src].recv().expect("peer alive")
     }
 
-    /// All-reduce (sum) of a local contribution via a binomial tree rooted at
-    /// rank 0 followed by a broadcast down the same tree — `2·⌈log₂ P⌉`
-    /// message stages, the pattern the cost model charges for.
+    /// Message stages this rank has participated in so far (each butterfly /
+    /// fold round of an all-reduce counts one stage on every rank — the
+    /// latency charge of the round).
+    pub fn stages(&self) -> u64 {
+        self.stage_count.get()
+    }
+
+    #[inline]
+    fn bump_stage(&self) {
+        self.stage_count.set(self.stage_count.get() + 1);
+    }
+
+    /// All-reduce (sum) of a local contribution via a recursive-doubling
+    /// **butterfly**: `log₂ P` message stages when `P` is a power of two,
+    /// `⌊log₂ P⌋ + 2` otherwise (see [`reduce_stages`]) — compared with the
+    /// `2·⌈log₂ P⌉` stages of a reduce-then-broadcast binomial tree, the
+    /// butterfly halves the critical path, and every rank ends with the sum.
     pub fn all_reduce_sum(&self, mut local: Vec<f64>) -> Vec<f64> {
         let p = self.nranks;
+        if p == 1 {
+            return local;
+        }
         let r = self.rank;
-        // Reduce up the tree.
-        let mut step = 1;
-        while step < p {
-            if r % (2 * step) == step {
-                // Sender this stage.
-                self.send(r - step, local.clone());
-            } else if r.is_multiple_of(2 * step) && r + step < p {
-                let other = self.recv(r + step);
+        let pow2 = 1usize << p.ilog2();
+        let extras = p - pow2;
+        // Fold-in: excess ranks collapse their contribution onto the
+        // power-of-two core.
+        if extras > 0 {
+            if r >= pow2 {
+                self.send(r - pow2, local.clone());
+            } else if r < extras {
+                let other = self.recv(r + pow2);
                 for (a, b) in local.iter_mut().zip(&other) {
                     *a += *b;
                 }
             }
-            step *= 2;
+            self.bump_stage();
         }
-        // Broadcast down.
-        step /= 2;
-        while step >= 1 {
-            if r.is_multiple_of(2 * step) && r + step < p {
-                self.send(r + step, local.clone());
-            } else if r % (2 * step) == step {
-                local = self.recv(r - step);
+        // Butterfly among the power-of-two core: exchange with `r ^ step`.
+        // (Channel sends are buffered, so symmetric send-then-recv is safe.)
+        let mut step = 1;
+        while step < pow2 {
+            if r < pow2 {
+                let partner = r ^ step;
+                self.send(partner, local.clone());
+                let other = self.recv(partner);
+                for (a, b) in local.iter_mut().zip(&other) {
+                    *a += *b;
+                }
             }
-            if step == 1 {
-                break;
+            self.bump_stage();
+            step <<= 1;
+        }
+        // Unfold: hand the finished sum back to the excess ranks.
+        if extras > 0 {
+            if r < extras {
+                self.send(r + pow2, local.clone());
+            } else if r >= pow2 {
+                local = self.recv(r - pow2);
             }
-            step /= 2;
+            self.bump_stage();
         }
         local
+    }
+
+    /// Fused all-reduce: several logically separate contributions batched
+    /// into **one** butterfly — one latency charge (the stage count of a
+    /// single [`RankCtx::all_reduce_sum`]) carrying the summed payload. Each
+    /// part is returned reduced, in order.
+    pub fn fused_all_reduce_sum(&self, parts: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut buf = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in parts {
+            buf.extend_from_slice(part);
+        }
+        let reduced = self.all_reduce_sum(buf);
+        let mut out = Vec::with_capacity(parts.len());
+        let mut off = 0;
+        for part in parts {
+            out.push(reduced[off..off + part.len()].to_vec());
+            off += part.len();
+        }
+        out
     }
 
     /// Synchronize all ranks.
@@ -118,6 +186,7 @@ pub fn run<T: Send>(nranks: usize, f: impl Fn(&RankCtx) -> T + Sync) -> (Vec<T>,
                 receivers: recvs,
                 barrier: Arc::clone(&barrier),
                 msg_count: Arc::clone(&msg_count),
+                stage_count: Cell::new(0),
             };
             let fref = &f;
             handles.push(scope.spawn(move || fref(&ctx)));
@@ -136,7 +205,7 @@ mod tests {
 
     #[test]
     fn all_reduce_sums_across_ranks() {
-        for p in [1, 2, 3, 4, 7, 8] {
+        for p in [1, 2, 3, 4, 7, 8, 16] {
             let (results, _msgs) = run(p, |ctx| {
                 let local = vec![ctx.rank() as f64, 1.0];
                 ctx.all_reduce_sum(local)
@@ -151,11 +220,60 @@ mod tests {
 
     #[test]
     fn all_reduce_message_count_is_logarithmic() {
-        // Power-of-two ranks: exactly 2·(P−1) messages per all-reduce
-        // (P−1 up the tree, P−1 down).
-        for p in [2usize, 4, 8] {
+        // Butterfly: the power-of-two core exchanges pow2·log₂(pow2)
+        // messages; non-power-of-two adds one fold-in + one unfold message
+        // per excess rank.
+        for p in [2usize, 3, 4, 7, 8, 16] {
             let (_res, msgs) = run(p, |ctx| ctx.all_reduce_sum(vec![1.0]));
-            assert_eq!(msgs, 2 * (p as u64 - 1), "p = {p}");
+            let pow2 = 1u64 << p.ilog2();
+            let extras = p as u64 - pow2;
+            assert_eq!(msgs, pow2 * u64::from(pow2.ilog2()) + 2 * extras, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn all_reduce_stage_count_matches_reduce_stages() {
+        // Satellite audit: the executor's *actual* stage count for
+        // P ∈ {2,3,4,7,8,16} (including non-powers-of-two) must equal
+        // reduce_stages(P) — the figure the cost model charges — and stay at
+        // or below the 2·⌈log₂ P⌉ the old binomial tree claimed.
+        for p in [2usize, 3, 4, 7, 8, 16] {
+            let (stage_counts, _) = run(p, |ctx| {
+                let _ = ctx.all_reduce_sum(vec![ctx.rank() as f64]);
+                ctx.stages()
+            });
+            let expect = u64::from(reduce_stages(p));
+            for (r, s) in stage_counts.iter().enumerate() {
+                assert_eq!(*s, expect, "p = {p}, rank {r}");
+            }
+            let old_claim = 2 * u64::from((p as f64).log2().ceil() as u32);
+            assert!(expect <= old_claim, "p = {p}: {expect} > {old_claim}");
+        }
+    }
+
+    #[test]
+    fn fused_all_reduce_costs_one_reduction() {
+        // Three logically separate products (CᴴW / VᴴW / WᴴW shapes) batched
+        // into one butterfly: same per-part sums as three separate
+        // all-reduces, but the stage count of ONE.
+        for p in [3usize, 4, 8] {
+            let (results, _) = run(p, |ctx| {
+                let r = ctx.rank() as f64;
+                let parts = vec![vec![r, 2.0 * r], vec![1.0 + r], vec![r * r, r, 1.0]];
+                let fused = ctx.fused_all_reduce_sum(&parts);
+                (fused, ctx.stages())
+            });
+            let pf = p as f64;
+            let sum_r: f64 = (0..p).map(|r| r as f64).sum();
+            let sum_r2: f64 = (0..p).map(|r| (r * r) as f64).sum();
+            for (fused, stages) in results {
+                assert_eq!(fused.len(), 3);
+                assert_eq!(fused[0], vec![sum_r, 2.0 * sum_r]);
+                assert_eq!(fused[1], vec![pf + sum_r]);
+                assert_eq!(fused[2], vec![sum_r2, sum_r, pf]);
+                // One latency charge: a single all-reduce's worth of stages.
+                assert_eq!(stages, u64::from(reduce_stages(p)), "p = {p}");
+            }
         }
     }
 

@@ -206,6 +206,90 @@ impl<S: Scalar> Csr<S> {
         }
     }
 
+    /// `Y(rows, :) ⟵ A(rows, :)·X` — the SpMM kernel restricted to a row
+    /// subset; rows outside the set are left untouched. The per-row
+    /// accumulation is *identical* to [`Csr::spmm`] (same column-block
+    /// register kernel, same nonzero order), so computing the interior rows
+    /// while a halo exchange is in flight and the boundary rows afterwards
+    /// reproduces the unsplit product bit for bit.
+    pub fn spmm_rows(&self, x: &DMat<S>, y: &mut DMat<S>, rows: &[usize]) {
+        assert_eq!(x.nrows(), self.ncols);
+        assert_eq!(y.nrows(), self.nrows);
+        assert_eq!(x.ncols(), y.ncols());
+        debug_assert!(rows.iter().all(|&i| i < self.nrows), "row out of range");
+        let p = x.ncols();
+        let n = self.nrows;
+        if p == 1 {
+            // Same scalar accumulation as `spmv`.
+            let xs = x.col(0);
+            let ys = y.col_mut(0);
+            let kernel = |i: usize| {
+                let mut acc = S::zero();
+                for k in self.indptr[i]..self.indptr[i + 1] {
+                    acc += self.data[k] * xs[self.indices[k]];
+                }
+                acc
+            };
+            if rows.len() >= PAR_ROWS {
+                let yp = SendPtr::new(ys.as_mut_ptr());
+                for_each_range(rows.len(), 0, |r0, r1| {
+                    for &i in &rows[r0..r1] {
+                        // SAFETY: `rows` indexes distinct rows; parallel
+                        // parts own disjoint slices of it.
+                        unsafe { *yp.ptr().add(i) = kernel(i) };
+                    }
+                });
+            } else {
+                for &i in rows {
+                    ys[i] = kernel(i);
+                }
+            }
+            return;
+        }
+        let xn = x.nrows();
+        let xd = x.as_slice();
+        let yp = SendPtr::new(y.as_mut_slice().as_mut_ptr());
+        let band = |r0: usize, r1: usize| {
+            let mut jb = 0;
+            while jb < p {
+                let nb = SPMM_COLS.min(p - jb);
+                for &i in &rows[r0..r1] {
+                    let lo = self.indptr[i];
+                    let hi = self.indptr[i + 1];
+                    let mut acc = [S::zero(); SPMM_COLS];
+                    if nb == SPMM_COLS {
+                        for k in lo..hi {
+                            let a = self.data[k];
+                            let c = self.indices[k];
+                            for l in 0..SPMM_COLS {
+                                acc[l] += a * xd[(jb + l) * xn + c];
+                            }
+                        }
+                    } else {
+                        for k in lo..hi {
+                            let a = self.data[k];
+                            let c = self.indices[k];
+                            for (l, al) in acc.iter_mut().enumerate().take(nb) {
+                                *al += a * xd[(jb + l) * xn + c];
+                            }
+                        }
+                    }
+                    for (l, &al) in acc.iter().enumerate().take(nb) {
+                        // SAFETY: distinct rows, disjoint parallel parts —
+                        // each output element written exactly once.
+                        unsafe { *yp.ptr().add((jb + l) * n + i) = al };
+                    }
+                }
+                jb += nb;
+            }
+        };
+        if rows.len() >= PAR_ROWS {
+            for_each_range(rows.len(), 0, band);
+        } else {
+            band(0, rows.len());
+        }
+    }
+
     /// Convenience: allocate and return `A·X`.
     pub fn apply(&self, x: &DMat<S>) -> DMat<S> {
         let mut y = DMat::zeros(self.nrows, x.ncols());

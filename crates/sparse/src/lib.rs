@@ -14,6 +14,8 @@
 //!   stand-in for PARDISO (paper §V-B3, Fig. 6),
 //! * [`partition`] — coordinate/graph partitioning with δ-layer overlap
 //!   growth for the Schwarz preconditioners (stand-in for SCOTCH),
+//! * [`split`] — interior/boundary row classification so SpMM on the
+//!   interior overlaps the halo exchange,
 //! * [`workspace`] — the [`workspace::SpmmWorkspace`] buffer pool that makes
 //!   per-iteration kernel calls allocation-free.
 
@@ -24,9 +26,11 @@ pub mod direct;
 pub mod ops;
 pub mod order;
 pub mod partition;
+pub mod split;
 pub mod workspace;
 
 pub use coo::Coo;
 pub use csr::Csr;
 pub use direct::SparseDirect;
+pub use split::RowSplit;
 pub use workspace::SpmmWorkspace;

@@ -1,0 +1,116 @@
+//! Interior/boundary row split for halo/compute overlap.
+//!
+//! In a distributed SpMM each rank owns a contiguous row range. A row whose
+//! nonzero columns all fall inside its owner's range needs no remote data —
+//! its product can proceed while the halo exchange is still on the wire.
+//! Rows that reach outside the range must wait for the exchange. The split
+//! computed here drives the overlapped apply of `kryst-par`'s `DistOp`:
+//! interior rows first (overlapping the exchange), boundary rows after.
+
+use crate::Csr;
+use kryst_scalar::Scalar;
+use std::ops::Range;
+
+/// Partition of a matrix's rows into halo-independent interior rows and
+/// exchange-dependent boundary rows, per an ownership layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSplit {
+    /// Rows whose columns stay within their owner's range (ascending).
+    pub interior: Vec<usize>,
+    /// Rows coupling to at least one column outside the range (ascending).
+    pub boundary: Vec<usize>,
+    /// Nonzeros in the interior rows.
+    pub interior_nnz: usize,
+    /// Nonzeros in the boundary rows.
+    pub boundary_nnz: usize,
+}
+
+impl RowSplit {
+    /// Classify every row of `a` against the contiguous ownership ranges
+    /// (one per rank, covering `0..a.nrows()` in order).
+    pub fn build<S: Scalar>(a: &Csr<S>, owner_ranges: &[Range<usize>]) -> Self {
+        let mut interior = Vec::new();
+        let mut boundary = Vec::new();
+        let mut interior_nnz = 0;
+        let mut boundary_nnz = 0;
+        for range in owner_ranges {
+            for i in range.clone() {
+                let cols = a.row_indices(i);
+                let local = cols.iter().all(|&c| range.contains(&c));
+                if local {
+                    interior.push(i);
+                    interior_nnz += cols.len();
+                } else {
+                    boundary.push(i);
+                    boundary_nnz += cols.len();
+                }
+            }
+        }
+        Self {
+            interior,
+            boundary,
+            interior_nnz,
+            boundary_nnz,
+        }
+    }
+
+    /// Every row is interior (single-rank layouts degenerate to this).
+    pub fn all_interior(&self) -> bool {
+        self.boundary.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn laplace1d(n: usize) -> Csr<f64> {
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                c.push(i, i + 1, -1.0);
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn tridiagonal_boundary_is_rank_edges() {
+        // 1-D Laplacian on 12 rows over 3 even ranks: exactly the first and
+        // last row of each interior range touch a neighbour.
+        let a = laplace1d(12);
+        let ranges = [0..4usize, 4..8, 8..12];
+        let s = RowSplit::build(&a, &ranges);
+        assert_eq!(s.boundary, vec![3, 4, 7, 8]);
+        assert_eq!(s.interior, vec![0, 1, 2, 5, 6, 9, 10, 11]);
+        assert_eq!(s.interior_nnz + s.boundary_nnz, a.nnz());
+        // Rows 0 and 11 are physical-boundary rows but halo-interior.
+        assert!(s.interior.contains(&0) && s.interior.contains(&11));
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // one rank = one ownership range
+    fn single_rank_is_all_interior() {
+        let a = laplace1d(10);
+        let ranges = [0..10usize];
+        let s = RowSplit::build(&a, &ranges);
+        assert!(s.all_interior());
+        assert_eq!(s.interior.len(), 10);
+        assert_eq!(s.interior_nnz, a.nnz());
+    }
+
+    #[test]
+    fn split_partitions_rows_exactly() {
+        let a = laplace1d(23);
+        let ranges = [0..8usize, 8..16, 16..23];
+        let s = RowSplit::build(&a, &ranges);
+        let mut all: Vec<usize> = s.interior.iter().chain(&s.boundary).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+}

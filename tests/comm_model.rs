@@ -1,0 +1,239 @@
+//! Fig. 7-style modeled strong-scaling of the fused iteration path.
+//!
+//! Runs real solves twice — classic vs fused orthogonalization — captures
+//! the exact reduction counters, and models the per-iteration reduction
+//! latency at P ∈ {512 … 8192} ranks with the α–β–γ [`CostModel`] (whose
+//! stage charge is reconciled with the SPMD butterfly executor by test).
+//! The acceptance claims of the communication-avoiding path:
+//!
+//! * GMRES(30): the fused path cuts modeled per-iteration reduction latency
+//!   by **≥ 2×** (classic CholQR synchronizes 3× per iteration; fused runs
+//!   at 1 plus the adaptive re-orthogonalization tail),
+//! * GCRO-DR(30,10): **≥ 1.5×** even though deflated cycles carry the extra
+//!   `CᴴW` projection (it rides in the same fused message),
+//! * identical iteration trajectories at rtol 1e-8 — the latency win is not
+//!   bought with extra iterations.
+
+use kryst_core::{gcrodr, gmres, OrthPath, SolveOpts, SolverContext};
+use kryst_dense::DMat;
+use kryst_par::{CommSnapshot, CommStats, CostModel, IdentityPrecond};
+use kryst_rt::rng::Rng64;
+use kryst_sparse::{Coo, Csr};
+
+const RANKS: [usize; 5] = [512, 1024, 2048, 4096, 8192];
+
+/// 2-D convection–diffusion, first-order upwind convection: a strongly
+/// nonsymmetric operator on which unpreconditioned GMRES(30) converges with
+/// little Arnoldi cancellation — the representative regime where the fused
+/// path runs near its 1-reduction/iteration floor.
+fn convdiff2d(nx: usize, eps: f64, bx: f64, by: f64) -> Csr<f64> {
+    let n = nx * nx;
+    let h = 1.0 / (nx as f64 + 1.0);
+    let mut c = Coo::new(n, n);
+    let idx = |i: usize, j: usize| i * nx + j;
+    for i in 0..nx {
+        for j in 0..nx {
+            let row = idx(i, j);
+            c.push(row, row, 4.0 * eps / (h * h) + (bx.abs() + by.abs()) / h);
+            if i > 0 {
+                c.push(row, idx(i - 1, j), -eps / (h * h) - bx.max(0.0) / h);
+            }
+            if i + 1 < nx {
+                c.push(row, idx(i + 1, j), -eps / (h * h) + bx.min(0.0) / h);
+            }
+            if j > 0 {
+                c.push(row, idx(i, j - 1), -eps / (h * h) - by.max(0.0) / h);
+            }
+            if j + 1 < nx {
+                c.push(row, idx(i, j + 1), -eps / (h * h) + by.min(0.0) / h);
+            }
+        }
+    }
+    c.to_csr()
+}
+
+fn laplace1d(n: usize) -> Csr<f64> {
+    let mut c = Coo::new(n, n);
+    for i in 0..n {
+        c.push(i, i, 2.0);
+        if i > 0 {
+            c.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            c.push(i, i + 1, -1.0);
+        }
+    }
+    c.to_csr()
+}
+
+/// Reduction-only view of a snapshot: the per-iteration latency the §III-D
+/// argument is about.
+fn reductions_only(s: &CommSnapshot) -> CommSnapshot {
+    CommSnapshot {
+        reductions: s.reductions,
+        reduction_bytes: s.reduction_bytes,
+        fused_parts: s.fused_parts,
+        ..Default::default()
+    }
+}
+
+/// Modeled reduction seconds per iteration at `p` ranks.
+fn red_latency_per_iter(m: &CostModel, s: &CommSnapshot, iters: usize, p: usize) -> f64 {
+    m.time(&reductions_only(s), p).reduction / iters as f64
+}
+
+#[test]
+fn fused_gmres30_cuts_modeled_reduction_latency_2x() {
+    let a = convdiff2d(32, 0.001, 1.0, 0.3);
+    let n = a.nrows();
+    let id = IdentityPrecond::new(n);
+    let b = DMat::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
+
+    let run = |path: OrthPath| {
+        let stats = CommStats::new_shared();
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 30,
+            max_iters: 1000,
+            ortho: path,
+            stats: Some(stats.clone()),
+            ..Default::default()
+        };
+        let mut x = DMat::zeros(n, 1);
+        let res = gmres::solve(&a, &id, &b, &mut x, &opts);
+        assert!(res.converged, "{path:?} did not converge");
+        (res, stats.snapshot())
+    };
+    let (classic, csnap) = run(OrthPath::Classic);
+    let (fused, fsnap) = run(OrthPath::Fused);
+
+    // Identical Krylov trajectory at rtol 1e-8.
+    assert_eq!(fused.iterations, classic.iterations, "trajectory changed");
+    let m = CostModel::curie_like();
+    eprintln!(
+        "gmres30_convdiff32: {} iterations, classic {} reds / fused {} reds",
+        classic.iterations, csnap.reductions, fsnap.reductions
+    );
+    for p in RANKS {
+        let tc = red_latency_per_iter(&m, &csnap, classic.iterations, p);
+        let tf = red_latency_per_iter(&m, &fsnap, fused.iterations, p);
+        eprintln!(
+            "  P={p}: classic {tc:.3e} s/iter, fused {tf:.3e} s/iter, ratio {:.2}",
+            tc / tf
+        );
+        assert!(
+            tc / tf >= 2.0,
+            "P = {p}: modeled per-iteration reduction latency ratio {:.3} < 2 \
+             (classic {} reds, fused {} reds, {} iterations)",
+            tc / tf,
+            csnap.reductions,
+            fsnap.reductions,
+            classic.iterations
+        );
+    }
+}
+
+#[test]
+fn fused_gcrodr30_10_cuts_modeled_reduction_latency_1p5x() {
+    // The golden-trace problem: GMRES(30) stagnates, GCRO-DR(30,10)
+    // converges — cold solve plus a warm recycled solve on a second RHS.
+    let n = 400;
+    let a = laplace1d(n);
+    let mut rng = Rng64::seed_from_u64(42);
+    let b = DMat::from_fn(n, 1, |_, _| rng.gen_range(-1.0, 1.0));
+    let mut rng2 = Rng64::seed_from_u64(43);
+    let b2 = DMat::from_fn(n, 1, |_, _| rng2.gen_range(-1.0, 1.0));
+    let id = IdentityPrecond::new(n);
+
+    let run = |path: OrthPath| {
+        let stats = CommStats::new_shared();
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 30,
+            recycle: 10,
+            max_iters: 5000,
+            ortho: path,
+            stats: Some(stats.clone()),
+            ..Default::default()
+        };
+        let mut ctx = SolverContext::new();
+        let mut x = DMat::zeros(n, 1);
+        let r1 = gcrodr::solve(&a, &id, &b, &mut x, &opts, &mut ctx);
+        let mut x2 = DMat::zeros(n, 1);
+        let r2 = gcrodr::solve(&a, &id, &b2, &mut x2, &opts, &mut ctx);
+        assert!(r1.converged && r2.converged, "{path:?}");
+        (r1.iterations + r2.iterations, stats.snapshot())
+    };
+    let (classic_iters, csnap) = run(OrthPath::Classic);
+    let (fused_iters, fsnap) = run(OrthPath::Fused);
+
+    assert_eq!(fused_iters, classic_iters, "trajectory changed");
+    let m = CostModel::curie_like();
+    eprintln!(
+        "gcrodr30_10_laplace400 (cold+warm): {} iterations, classic {} reds / fused {} reds",
+        classic_iters, csnap.reductions, fsnap.reductions
+    );
+    for p in RANKS {
+        let tc = red_latency_per_iter(&m, &csnap, classic_iters, p);
+        let tf = red_latency_per_iter(&m, &fsnap, fused_iters, p);
+        eprintln!(
+            "  P={p}: classic {tc:.3e} s/iter, fused {tf:.3e} s/iter, ratio {:.2}",
+            tc / tf
+        );
+        assert!(
+            tc / tf >= 1.5,
+            "P = {p}: modeled per-iteration reduction latency ratio {:.3} < 1.5 \
+             (classic {} reds, fused {} reds, {} iterations)",
+            tc / tf,
+            csnap.reductions,
+            fsnap.reductions,
+            classic_iters
+        );
+    }
+}
+
+/// The modeled *total* per-iteration time (reduction + halo + compute) at
+/// scale: the fused path must never be slower at any P, and the advantage
+/// must grow with P (reductions are the non-scaling term the fused path
+/// attacks).
+#[test]
+fn fused_total_modeled_time_advantage_grows_with_ranks() {
+    let a = convdiff2d(32, 0.001, 1.0, 0.3);
+    let n = a.nrows();
+    let id = IdentityPrecond::new(n);
+    let b = DMat::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
+    let run = |path: OrthPath| {
+        let stats = CommStats::new_shared();
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 30,
+            max_iters: 1000,
+            ortho: path,
+            stats: Some(stats.clone()),
+            ..Default::default()
+        };
+        let mut x = DMat::zeros(n, 1);
+        let res = gmres::solve(&a, &id, &b, &mut x, &opts);
+        assert!(res.converged);
+        (res, stats.snapshot())
+    };
+    let (_, csnap) = run(OrthPath::Classic);
+    let (_, fsnap) = run(OrthPath::Fused);
+    let m = CostModel::curie_like();
+    let mut prev_ratio = 0.0;
+    for p in RANKS {
+        let tc = m.time(&csnap, p).total();
+        let tf = m.time(&fsnap, p).total();
+        let ratio = tc / tf;
+        assert!(ratio >= 1.0, "P = {p}: fused modeled slower ({ratio:.3})");
+        assert!(
+            ratio >= prev_ratio,
+            "P = {p}: advantage shrank ({ratio:.3} < {prev_ratio:.3})"
+        );
+        prev_ratio = ratio;
+    }
+    assert!(
+        prev_ratio >= 1.5,
+        "advantage at P = 8192 should be pronounced: {prev_ratio:.3}"
+    );
+}

@@ -10,7 +10,7 @@
 //! Regenerate after an intentional numerical change with:
 //! `KRYST_GOLDEN_REGEN=1 cargo test -p kryst-bench --test golden_traces`
 
-use kryst_core::{gcrodr, gmres, SolveOpts, SolveResult, SolverContext};
+use kryst_core::{gcrodr, gmres, OrthPath, SolveOpts, SolveResult, SolverContext};
 use kryst_dense::DMat;
 use kryst_obs::json::{f64_array, JsonValue};
 use kryst_obs::{cumulative_comm, iteration_events, Event, Recorder, RingRecorder};
@@ -176,6 +176,7 @@ fn gmres30_laplace400_matches_golden() {
             rtol: 1e-8,
             restart: 30,
             max_iters: 1500,
+            ortho: OrthPath::Classic,
             ..Default::default()
         },
         &ring,
@@ -191,6 +192,45 @@ fn gmres30_laplace400_matches_golden() {
     check_against_golden("gmres30_laplace400.json", &got);
 }
 
+/// The fused (communication-avoiding) path has its own pinned trace: the
+/// iteration trajectory matches the classic path exactly while the reduction
+/// total drops from `3·iters + cycles` to `iters + cycles`.
+#[test]
+fn gmres30_laplace400_fused_matches_golden() {
+    let n = 400;
+    let a = laplace1d(n);
+    let b = pinned_rhs(n, 42);
+    let id = IdentityPrecond::new(n);
+    let ring = Arc::new(RingRecorder::new(1 << 16));
+    let opts = instrumented_opts(
+        SolveOpts {
+            rtol: 1e-8,
+            restart: 30,
+            max_iters: 1500,
+            ortho: OrthPath::Fused,
+            ..Default::default()
+        },
+        &ring,
+    );
+    let mut x = DMat::zeros(n, 1);
+    let res = gmres::solve(&a, &id, &b, &mut x, &opts);
+    assert_eq!(res.iterations, 1500);
+    let got = Golden::capture("gmres", &ring.events(), &res);
+    // Fused CholQR: one reduction per iteration plus the cycle-start CholQR,
+    // with an adaptive second pass only where the orthogonality-loss budget
+    // demands one — never more than 2 per iteration.
+    let cycles = res.iterations / 30;
+    assert!(
+        got.reductions >= (res.iterations + cycles) as u64,
+        "fused GMRES floor is 1 reduction/iteration + 1/cycle"
+    );
+    assert!(
+        got.reductions <= (2 * res.iterations + cycles) as u64,
+        "fused GMRES ceiling is 2 reductions/iteration + 1/cycle"
+    );
+    check_against_golden("gmres30_laplace400_fused.json", &got);
+}
+
 #[test]
 fn gcrodr30_10_laplace400_matches_golden() {
     let n = 400;
@@ -204,6 +244,7 @@ fn gcrodr30_10_laplace400_matches_golden() {
             restart: 30,
             recycle: 10,
             max_iters: 5000,
+            ortho: OrthPath::Classic,
             ..Default::default()
         },
         &ring,
@@ -229,6 +270,7 @@ fn gcrodr30_10_laplace400_matches_golden() {
             restart: 30,
             recycle: 10,
             max_iters: 5000,
+            ortho: OrthPath::Classic,
             ..Default::default()
         },
         &ring2,
@@ -244,4 +286,63 @@ fn gcrodr30_10_laplace400_matches_golden() {
     );
     let got2 = Golden::capture("gcrodr", &ring2.events(), &res2);
     check_against_golden("gcrodr30_10_laplace400_warm.json", &got2);
+}
+
+/// Fused-path GCRO-DR: the recycled-block projection `CᴴW` rides inside the
+/// same fused reduction as the basis projection and Gram matrix, so deflated
+/// cycles also run at one reduction per iteration.
+#[test]
+fn gcrodr30_10_laplace400_fused_matches_golden() {
+    let n = 400;
+    let a = laplace1d(n);
+    let b = pinned_rhs(n, 42);
+    let id = IdentityPrecond::new(n);
+    let ring = Arc::new(RingRecorder::new(1 << 16));
+    let opts = instrumented_opts(
+        SolveOpts {
+            rtol: 1e-8,
+            restart: 30,
+            recycle: 10,
+            max_iters: 5000,
+            ortho: OrthPath::Fused,
+            ..Default::default()
+        },
+        &ring,
+    );
+    let mut ctx = SolverContext::new();
+    let mut x = DMat::zeros(n, 1);
+    let res = gcrodr::solve(&a, &id, &b, &mut x, &opts, &mut ctx);
+    assert!(
+        res.converged,
+        "fused GCRO-DR(30,10) on laplace400: {:?}",
+        res.final_relres
+    );
+    let got = Golden::capture("gcrodr", &ring.events(), &res);
+    check_against_golden("gcrodr30_10_laplace400_fused.json", &got);
+
+    // Warm restart: recycling still pays off on the fused path.
+    let b2 = pinned_rhs(n, 43);
+    let ring2 = Arc::new(RingRecorder::new(1 << 16));
+    let opts2 = instrumented_opts(
+        SolveOpts {
+            rtol: 1e-8,
+            restart: 30,
+            recycle: 10,
+            max_iters: 5000,
+            ortho: OrthPath::Fused,
+            ..Default::default()
+        },
+        &ring2,
+    );
+    let mut x2 = DMat::zeros(n, 1);
+    let res2 = gcrodr::solve(&a, &id, &b2, &mut x2, &opts2, &mut ctx);
+    assert!(res2.converged);
+    assert!(
+        res2.iterations < res.iterations,
+        "recycling must cut iterations on the fused path: {} !< {}",
+        res2.iterations,
+        res.iterations
+    );
+    let got2 = Golden::capture("gcrodr", &ring2.events(), &res2);
+    check_against_golden("gcrodr30_10_laplace400_fused_warm.json", &got2);
 }

@@ -17,7 +17,7 @@
 //! * `same_system` drops the `A·U` re-orthonormalization from the setup, so
 //!   the setup span records 1 reduction instead of 2.
 
-use kryst_core::{gcrodr, gmres, OrthScheme, RecycleStrategy, SolveOpts, SolverContext};
+use kryst_core::{gcrodr, gmres, OrthPath, OrthScheme, RecycleStrategy, SolveOpts, SolverContext};
 use kryst_dense::DMat;
 use kryst_obs::{
     cumulative_comm, iteration_events, spans_of, Event, Recorder, RingRecorder, SpanKind,
@@ -67,6 +67,7 @@ fn gmres_cholqr_reduction_count_is_exact() {
         rtol: 1e-8,
         restart: 20,
         orth: OrthScheme::CholQr,
+        ortho: OrthPath::Classic,
         stats: Some(Arc::clone(&stats)),
         recorder: Some(ring.clone() as Arc<dyn Recorder>),
         ..Default::default()
@@ -123,6 +124,7 @@ fn gcrodr_deflated_cycle_count_is_exact() {
         restart: 20,
         recycle: 8,
         orth: OrthScheme::CholQr,
+        ortho: OrthPath::Classic,
         same_system: true,
         stats: Some(Arc::clone(&stats)),
         ..Default::default()
@@ -259,6 +261,7 @@ fn mgs_deltas_grow_with_basis_cholqr_stays_flat() {
             rtol: 1e-8,
             restart: 30,
             orth,
+            ortho: OrthPath::Classic,
             stats: Some(CommStats::new_shared()),
             recorder: Some(ring.clone() as Arc<dyn Recorder>),
             ..Default::default()
@@ -326,4 +329,208 @@ fn spmm_messages_independent_of_p_bytes_linear_in_p() {
     assert_eq!(runs[1].1, runs[2].1);
     assert_eq!(runs[1].2, 4 * runs[0].2);
     assert_eq!(runs[2].2, 16 * runs[0].2);
+}
+
+/// Within-cycle Arnoldi step index of each iteration event (0-based): the
+/// `j` in the §III-D per-iteration formulas.
+fn within_cycle_steps(iters: &[&kryst_obs::IterationEvent]) -> Vec<usize> {
+    let mut steps = Vec::with_capacity(iters.len());
+    let mut cur = usize::MAX;
+    let mut j = 0;
+    for ev in iters {
+        if ev.cycle != cur {
+            cur = ev.cycle;
+            j = 0;
+        }
+        steps.push(j);
+        j += 1;
+    }
+    steps
+}
+
+/// §III-D byte audit, classic path: iteration `j` of a GMRES(m)/CholQR
+/// cycle reduces exactly `(2j + 3)·8` bytes in its 3 reductions — the two
+/// CGS projection passes carry `(j+1)` coefficients each, the Gram product
+/// one scalar — and the cycle-start CholQR adds its own 8-byte Gram. Locks
+/// the accounting to the message sizes §III-D argues about, not a
+/// `(j+2)·p·p` over-approximation.
+#[test]
+fn classic_reduction_bytes_are_exact() {
+    let (a, b) = poisson_setup(24);
+    let n = a.nrows();
+    let id = IdentityPrecond::new(n);
+    let stats = CommStats::new_shared();
+    let ring = Arc::new(RingRecorder::new(8192));
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        restart: 20,
+        orth: OrthScheme::CholQr,
+        ortho: OrthPath::Classic,
+        stats: Some(Arc::clone(&stats)),
+        recorder: Some(ring.clone() as Arc<dyn Recorder>),
+        ..Default::default()
+    };
+    let mut x = DMat::zeros(n, 1);
+    let res = gmres::solve(&a, &id, &b, &mut x, &opts);
+    assert!(res.converged);
+    let events = ring.events();
+    let iters = iteration_events(&events);
+    let steps = within_cycle_steps(&iters);
+    let w = std::mem::size_of::<f64>() as u64;
+    for (ev, &j) in iters.iter().zip(&steps) {
+        let first_of_cycle = j == 0;
+        let want = (2 * j as u64 + 3) * w + u64::from(first_of_cycle) * w;
+        assert_eq!(
+            ev.comm.reduction_bytes, want,
+            "cycle {} step {j}: {} bytes",
+            ev.cycle, ev.comm.reduction_bytes
+        );
+    }
+    // The classic path never fuses: no batched parts anywhere in the solve.
+    assert_eq!(stats.snapshot().fused_parts, 0);
+}
+
+/// Fused-path conformance: the same solve runs the same iteration
+/// trajectory, but iteration `j` reduces once (twice under the adaptive
+/// re-orthogonalization budget) with the projection coefficients and the
+/// Gram batched into one `(j+2)·8`-byte message of 2 fused parts.
+#[test]
+fn fused_reduction_bytes_and_parts_are_exact() {
+    let (a, b) = poisson_setup(24);
+    let n = a.nrows();
+    let id = IdentityPrecond::new(n);
+
+    let run = |path: OrthPath| {
+        let stats = CommStats::new_shared();
+        let ring = Arc::new(RingRecorder::new(8192));
+        let opts = SolveOpts {
+            rtol: 1e-8,
+            restart: 20,
+            orth: OrthScheme::CholQr,
+            ortho: path,
+            stats: Some(Arc::clone(&stats)),
+            recorder: Some(ring.clone() as Arc<dyn Recorder>),
+            ..Default::default()
+        };
+        let mut x = DMat::zeros(n, 1);
+        let res = gmres::solve(&a, &id, &b, &mut x, &opts);
+        assert!(res.converged, "{path:?}");
+        (res, stats.snapshot(), ring.events())
+    };
+    let (classic, csnap, _) = run(OrthPath::Classic);
+    let (fused, fsnap, events) = run(OrthPath::Fused);
+
+    // Same Krylov trajectory, strictly fewer synchronizations.
+    assert_eq!(fused.iterations, classic.iterations);
+    assert!(
+        fsnap.reductions < csnap.reductions,
+        "fused {} !< classic {}",
+        fsnap.reductions,
+        csnap.reductions
+    );
+
+    let iters = iteration_events(&events);
+    let steps = within_cycle_steps(&iters);
+    let w = std::mem::size_of::<f64>() as u64;
+    for (ev, &j) in iters.iter().zip(&steps) {
+        // The cycle-start CholQR is a plain (unfused) reduction riding on
+        // the cycle's first iteration.
+        let extra = u64::from(j == 0);
+        let passes = ev.comm.reductions - extra;
+        assert!(
+            passes == 1 || passes == 2,
+            "cycle {} step {j}: {} fused passes",
+            ev.cycle,
+            passes
+        );
+        assert_eq!(
+            ev.comm.fused_parts,
+            2 * passes,
+            "cycle {} step {j}",
+            ev.cycle
+        );
+        assert_eq!(
+            ev.comm.reduction_bytes,
+            passes * (j as u64 + 2) * w + extra * w,
+            "cycle {} step {j}",
+            ev.cycle
+        );
+    }
+}
+
+/// Fused deflated GCRO-DR cycles: the recycled-block projection `CᴴW` is a
+/// third part of the *same* fused reduction — a deflated iteration `j`
+/// synchronizes once (`k + j + 2` coefficients, 3 parts) instead of the
+/// classic four times. §III-D's "one extra reduction per iteration" price
+/// of deflation disappears into the batch.
+#[test]
+fn fused_deflated_cycle_parts_are_exact() {
+    let (a, b) = poisson_setup(24);
+    let n = a.nrows();
+    let id = IdentityPrecond::new(n);
+    let k = 8usize;
+    let mk = |path: OrthPath| SolveOpts {
+        rtol: 1e-8,
+        restart: 20,
+        recycle: k,
+        orth: OrthScheme::CholQr,
+        ortho: path,
+        same_system: true,
+        ..Default::default()
+    };
+
+    let run = |path: OrthPath| {
+        let mut ctx = SolverContext::new();
+        let mut x = DMat::zeros(n, 1);
+        assert!(gcrodr::solve(&a, &id, &b, &mut x, &mk(path), &mut ctx).converged);
+        let ring = Arc::new(RingRecorder::new(8192));
+        let opts = SolveOpts {
+            recorder: Some(ring.clone() as Arc<dyn Recorder>),
+            stats: Some(CommStats::new_shared()),
+            ..mk(path)
+        };
+        let b2 = DMat::from_fn(n, 1, |i, _| ((i % 5) as f64) - 2.0);
+        let mut x = DMat::zeros(n, 1);
+        let res = gcrodr::solve(&a, &id, &b2, &mut x, &opts, &mut ctx);
+        assert!(res.converged, "{path:?}");
+        (res, ring.events())
+    };
+    let (classic, _) = run(OrthPath::Classic);
+    let (fused, events) = run(OrthPath::Fused);
+    assert_eq!(fused.iterations, classic.iterations);
+
+    let iters = iteration_events(&events);
+    let steps = within_cycle_steps(&iters);
+    let w = std::mem::size_of::<f64>() as u64;
+    // Interior iterations only: cycle boundaries additionally carry the
+    // restart CholQR and the CᴴR update, and the trailing event absorbs the
+    // end-of-cycle update by the tracer's tiling construction.
+    let mut interior = 0;
+    for (win, &j) in iters.windows(2).zip(&steps[1..]) {
+        let ev = &win[1];
+        if j == 0 || ev.iter == iters.last().unwrap().iter {
+            continue;
+        }
+        let passes = ev.comm.reductions;
+        assert!(
+            passes == 1 || passes == 2,
+            "cycle {} step {j}: {} fused passes",
+            ev.cycle,
+            passes
+        );
+        assert_eq!(
+            ev.comm.fused_parts,
+            3 * passes,
+            "cycle {} step {j}",
+            ev.cycle
+        );
+        assert_eq!(
+            ev.comm.reduction_bytes,
+            passes * (k as u64 + j as u64 + 2) * w,
+            "cycle {} step {j}",
+            ev.cycle
+        );
+        interior += 1;
+    }
+    assert!(interior > 0, "no interior deflated iterations observed");
 }
