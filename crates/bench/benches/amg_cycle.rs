@@ -1,12 +1,35 @@
-//! AMG setup and V-cycle application cost vs strength threshold — the
-//! `-pc_gamg_threshold` trade-off of §IV-B.
+//! Preconditioner setup and apply cost — AMG threshold trade-off (§IV-B)
+//! plus the multi-RHS apply benchmarks gated by `BENCH_precond.json`:
+//! blocked (all p columns per sweep) vs column-at-a-time applies for the
+//! AMG V-cycle, level-scheduled ILU(0), and Schwarz/RAS.
 
 use kryst_bench::harness::{BenchmarkId, Criterion};
 use kryst_bench::{criterion_group, criterion_main};
 use kryst_dense::DMat;
 use kryst_par::PrecondOp;
+use kryst_pde::elasticity::{elasticity3d, ElasticityOpts};
 use kryst_pde::poisson::poisson2d;
-use kryst_precond::{Amg, AmgOpts, SmootherKind};
+use kryst_precond::{Amg, AmgOpts, Ilu0, Schwarz, SchwarzOpts, SchwarzVariant, SmootherKind};
+use kryst_sparse::partition::partition_rcb;
+
+const P: usize = 8;
+
+fn pinned_block(n: usize, p: usize) -> DMat<f64> {
+    DMat::from_fn(n, p, |i, j| (((i + 3 * j) % 9) as f64) - 4.0)
+}
+
+/// Apply a preconditioner one column at a time — the seed per-column path
+/// that the blocked kernels are measured against.
+fn apply_columnwise<M: PrecondOp<f64>>(m: &M, r: &DMat<f64>, z: &mut DMat<f64>) {
+    let n = r.nrows();
+    let mut rj = DMat::zeros(n, 1);
+    let mut zj = DMat::zeros(n, 1);
+    for j in 0..r.ncols() {
+        rj.col_mut(0).copy_from_slice(r.col(j));
+        m.apply(&rj, &mut zj);
+        z.col_mut(j).copy_from_slice(zj.col(0));
+    }
+}
 
 fn bench_amg(c: &mut Criterion) {
     let prob = poisson2d::<f64>(64, 32); // anisotropic grid: threshold matters
@@ -55,11 +78,63 @@ fn bench_amg(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // Multi-RHS V-cycle: all p columns streamed per sweep vs p separate
+    // single-column cycles (the paper's block-method amortization argument).
+    let amg = Amg::new(&prob.a, prob.near_nullspace.as_ref(), &AmgOpts::default());
+    let rp = pinned_block(n, P);
+    let mut zp = DMat::zeros(n, P);
+    let mut g = c.benchmark_group("amg_vcycle_p8");
+    g.bench_function("blocked", |bch| bch.iter(|| amg.apply(&rp, &mut zp)));
+    g.bench_function("columnwise", |bch| {
+        bch.iter(|| apply_columnwise(&amg, &rp, &mut zp))
+    });
+    g.finish();
+}
+
+fn bench_ilu(c: &mut Criterion) {
+    // 3-D elasticity: ~81 nonzeros per row gives the level schedule real
+    // rows per level, unlike a 5-point stencil.
+    let ep = elasticity3d::<f64>(&ElasticityOpts::default());
+    let a = &ep.problem.a;
+    let n = a.nrows();
+    let ilu = Ilu0::new(a).expect("ILU(0) on elasticity");
+    let rp = pinned_block(n, P);
+    let mut zp = DMat::zeros(n, P);
+    let mut g = c.benchmark_group("ilu_apply");
+    g.bench_function("levelsched_p8", |bch| bch.iter(|| ilu.apply(&rp, &mut zp)));
+    g.bench_function("columnwise_p8", |bch| {
+        bch.iter(|| apply_columnwise(&ilu, &rp, &mut zp))
+    });
+    g.finish();
+}
+
+fn bench_schwarz(c: &mut Criterion) {
+    let prob = poisson2d::<f64>(64, 32);
+    let n = prob.a.nrows();
+    let part = partition_rcb(&prob.coords, 8);
+    let ras = Schwarz::new(
+        &prob.a,
+        &part,
+        &SchwarzOpts {
+            variant: SchwarzVariant::Ras,
+            overlap: 2,
+            impedance: 0.0,
+        },
+    );
+    let rp = pinned_block(n, P);
+    let mut zp = DMat::zeros(n, P);
+    let mut g = c.benchmark_group("schwarz_apply");
+    g.bench_function("blocked_p8", |bch| bch.iter(|| ras.apply(&rp, &mut zp)));
+    g.bench_function("columnwise_p8", |bch| {
+        bch.iter(|| apply_columnwise(&ras, &rp, &mut zp))
+    });
+    g.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_amg
+    targets = bench_amg, bench_ilu, bench_schwarz
 }
 criterion_main!(benches);

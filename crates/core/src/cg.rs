@@ -36,10 +36,14 @@ pub fn solve<S: Scalar>(
         .collect();
     let mut tracer = SolveTracer::begin(opts, "cg", 0, n, p);
     let mut iters = 0usize;
+    // Buffer pool for the per-iteration n × p temporaries (A·D, M⁻¹·R):
+    // no allocation after the first iteration.
+    let mut ws = kryst_sparse::SpmmWorkspace::new();
 
     while active.iter().any(|&a| a) && iters < opts.max_iters {
         // Fused operator application (one SpMM for all columns).
-        let ad = a.apply_new(&d);
+        let mut ad = ws.take(n, p);
+        a.apply(&d, &mut ad);
         if let Some(st) = &opts.stats {
             // α and the new ⟨r,z⟩ each cost one fused reduction per iteration.
             st.record_reductions(2, 2 * p * std::mem::size_of::<S>());
@@ -60,7 +64,10 @@ pub fn solve<S: Scalar>(
                 r[(i, l)] -= alpha * ad[(i, l)];
             }
         }
-        z = pc.apply_new(&r);
+        ws.put(ad);
+        let mut znew = ws.take(n, p);
+        pc.apply(&r, &mut znew);
+        ws.put(std::mem::replace(&mut z, znew));
         for l in 0..p {
             if !active[l] {
                 continue;

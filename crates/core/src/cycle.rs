@@ -38,11 +38,33 @@ impl<'a, S: Scalar> PrecondMode<'a, S> {
 
     /// Iteration-space residual `r = b − A·x` (left: `M⁻¹·(b − A·x)`).
     pub fn residual(&self, a: &dyn LinOp<S>, b: &DMat<S>, x: &DMat<S>) -> DMat<S> {
-        let mut r = a.apply_new(x);
+        let mut ws = SpmmWorkspace::new();
+        self.residual_ws(a, b, x, &mut ws)
+    }
+
+    /// Pooled variant of [`residual`]: all temporaries (and the returned
+    /// matrix) come from `ws`; callers `put` the result back once consumed,
+    /// so steady-state restart cycles allocate nothing here.
+    ///
+    /// [`residual`]: PrecondMode::residual
+    pub fn residual_ws(
+        &self,
+        a: &dyn LinOp<S>,
+        b: &DMat<S>,
+        x: &DMat<S>,
+        ws: &mut SpmmWorkspace<S>,
+    ) -> DMat<S> {
+        let mut r = ws.take(b.nrows(), b.ncols());
+        a.apply(x, &mut r);
         r.scale(-S::one());
         r.axpy(S::one(), b);
         match self {
-            PrecondMode::Left(m) => m.apply_new(&r),
+            PrecondMode::Left(m) => {
+                let mut z = ws.take(r.nrows(), r.ncols());
+                m.apply(&r, &mut z);
+                ws.put(r);
+                z
+            }
             _ => r,
         }
     }
@@ -55,12 +77,40 @@ impl<'a, S: Scalar> PrecondMode<'a, S> {
         }
     }
 
+    /// Pooled variant of [`to_solution`]; the returned matrix comes from
+    /// `ws` (callers `put` it back once consumed).
+    ///
+    /// [`to_solution`]: PrecondMode::to_solution
+    pub fn to_solution_ws(&self, v: &DMat<S>, ws: &mut SpmmWorkspace<S>) -> DMat<S> {
+        let mut out = ws.take(v.nrows(), v.ncols());
+        match self {
+            PrecondMode::Right(m) => m.apply(v, &mut out),
+            _ => out.copy_from(v),
+        }
+        out
+    }
+
     /// Iteration-space image of a solution-space direction:
     /// `w = A·d` (left: `M⁻¹·A·d`).
     pub fn apply_op(&self, a: &dyn LinOp<S>, d: &DMat<S>) -> DMat<S> {
-        let w = a.apply_new(d);
+        let mut ws = SpmmWorkspace::new();
+        self.apply_op_ws(a, d, &mut ws)
+    }
+
+    /// Pooled variant of [`apply_op`]; the returned matrix comes from `ws`
+    /// (callers `put` it back once consumed).
+    ///
+    /// [`apply_op`]: PrecondMode::apply_op
+    pub fn apply_op_ws(&self, a: &dyn LinOp<S>, d: &DMat<S>, ws: &mut SpmmWorkspace<S>) -> DMat<S> {
+        let mut w = ws.take(d.nrows(), d.ncols());
+        a.apply(d, &mut w);
         match self {
-            PrecondMode::Left(m) => m.apply_new(&w),
+            PrecondMode::Left(m) => {
+                let mut z = ws.take(w.nrows(), w.ncols());
+                m.apply(&w, &mut z);
+                ws.put(w);
+                z
+            }
             _ => w,
         }
     }

@@ -99,7 +99,7 @@ pub fn solve<S: Scalar>(
     // caller declares a non-variable sequence.
     let first_solve = ctx.solves == 0;
     let refresh_allowed = !opts.same_system || first_solve;
-    let mut r = mode.residual(a, b, x);
+    let mut r = mode.residual_ws(a, b, x, &mut ws);
     {
         let r0: Vec<f64> = r.col_norms().iter().map(|v| v.to_f64()).collect();
         if !any_above(&r0, &bnorms, opts.rtol) {
@@ -122,7 +122,7 @@ pub fn solve<S: Scalar>(
         if rec.u.nrows() == n && rec.u.ncols() >= 1 {
             if !opts.same_system {
                 // Lines 4–6: [Q,R] = distributed_qr(A·U); C ⟵ Q; U ⟵ U·R⁻¹.
-                let mut w = mode.apply_op(a, &rec.u);
+                let mut w = mode.apply_op_ws(a, &rec.u, &mut ws);
                 let out = chol::cholqr(&mut w);
                 if let Some(st) = stats {
                     st.record_reduction(std::mem::size_of_val(out.r.as_slice()));
@@ -181,7 +181,8 @@ pub fn solve<S: Scalar>(
         tracer.span_end(cyc_probe, SpanKind::Cycle, cycle);
         let y = arn.solve_y();
         arn.update_solution(&y, x);
-        r = mode.residual(a, b, x);
+        ws.put(r);
+        r = mode.residual_ws(a, b, x, &mut ws);
         // Lines 16–20: harmonic Ritz via eq. (2), then C/U extraction.
         let eig_probe = tracer.span_start();
         let j = arn.iterations();
@@ -304,7 +305,8 @@ pub fn solve<S: Scalar>(
             x,
         );
         arn.update_solution(&y, x);
-        r = mode.residual(a, b, x);
+        ws.put(r);
+        r = mode.residual_ws(a, b, x, &mut ws);
         tracer.span_end(restart_probe, SpanKind::Restart, cycle);
         let rn: Vec<f64> = r.col_norms().iter().map(|v| v.to_f64()).collect();
         // Convergence is decided on the TRUE residual; the in-cycle estimate
@@ -343,7 +345,8 @@ pub fn solve<S: Scalar>(
 
     ctx.recycle = space;
     ctx.solves += 1;
-    let rfin = mode.residual(a, b, x);
+    ws.put(r);
+    let rfin = mode.residual_ws(a, b, x, &mut ws);
     let final_relres: Vec<f64> = rfin
         .col_norms()
         .iter()

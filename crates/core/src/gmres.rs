@@ -38,7 +38,10 @@ pub fn solve<S: Scalar>(
     let mut tracer = SolveTracer::begin(opts, name, 0, a.nrows(), p);
     let orth_name = opts.orth.name();
 
-    let mut r = mode.residual(a, b, x);
+    // Buffer pool shared by every restart cycle: the per-step n × p
+    // temporaries are allocated once and reused for the whole solve.
+    let mut ws = kryst_sparse::SpmmWorkspace::new();
+    let mut r = mode.residual_ws(a, b, x, &mut ws);
     let r0: Vec<f64> = r.col_norms().iter().map(|v| v.to_f64()).collect();
     if !any_above(&r0, &bnorms, opts.rtol) {
         let final_relres: Vec<f64> = r0.iter().zip(&bnorms).map(|(r, b)| r / b).collect();
@@ -52,9 +55,6 @@ pub fn solve<S: Scalar>(
     }
 
     let mut cycle = 0usize;
-    // Buffer pool shared by every restart cycle: the per-step n × p
-    // temporaries are allocated once and reused for the whole solve.
-    let mut ws = kryst_sparse::SpmmWorkspace::new();
     while iters < opts.max_iters {
         let cyc = tracer.span_start();
         let mut arn = BlockArnoldi::new(a, &mode, m, p, opts.orth, None, opts.stats.as_deref())
@@ -81,7 +81,8 @@ pub fn solve<S: Scalar>(
         let y = arn.solve_y();
         arn.update_solution(&y, x);
         ws = arn.into_workspace();
-        r = mode.residual(a, b, x);
+        ws.put(r);
+        r = mode.residual_ws(a, b, x, &mut ws);
         tracer.span_end(restart, SpanKind::Restart, cycle);
         cycle += 1;
         let rn: Vec<f64> = r.col_norms().iter().map(|v| v.to_f64()).collect();
@@ -91,7 +92,8 @@ pub fn solve<S: Scalar>(
         }
     }
 
-    let rfin = mode.residual(a, b, x);
+    ws.put(r);
+    let rfin = mode.residual_ws(a, b, x, &mut ws);
     let final_relres: Vec<f64> = rfin
         .col_norms()
         .iter()

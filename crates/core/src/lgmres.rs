@@ -40,7 +40,10 @@ pub fn solve<S: Scalar>(
     // Stored (z, A·z) pairs from previous cycles.
     let mut aug: VecDeque<(DMat<S>, DMat<S>)> = VecDeque::new();
 
-    let mut r = mode.residual(a, b, x);
+    // Buffer pool shared by every cycle: residuals and the per-step n × p
+    // Arnoldi temporaries reuse the same allocations for the whole solve.
+    let mut ws = kryst_sparse::SpmmWorkspace::new();
+    let mut r = mode.residual_ws(a, b, x, &mut ws);
     'outer: while iters < opts.max_iters {
         let rn = r.col_norm(0).to_f64();
         if rn <= opts.rtol * bnorms[0] {
@@ -58,7 +61,8 @@ pub fn solve<S: Scalar>(
             None,
             opts.stats.as_deref(),
         )
-        .with_path(opts.ortho);
+        .with_path(opts.ortho)
+        .with_workspace(std::mem::take(&mut ws));
         arn.start(&r);
         let mut first = true;
         while arn.can_step() && iters < opts.max_iters {
@@ -76,6 +80,7 @@ pub fn solve<S: Scalar>(
                 // Converged inside the Krylov phase: plain GMRES update.
                 let y = arn.solve_y();
                 arn.update_solution(&y, x);
+                ws = arn.into_workspace();
                 converged = true;
                 tracer.span_end(cyc, SpanKind::Cycle, cycle);
                 break 'outer;
@@ -89,6 +94,7 @@ pub fn solve<S: Scalar>(
         let zarn = arn.z_active();
         let varn = arn.v_active();
         let vh = blas::matmul(&varn, blas::Op::None, &arn.hraw_active(), blas::Op::None);
+        ws = arn.into_workspace();
         let mut dmat = zarn;
         let mut gmat = vh;
         for (z, az) in &aug {
@@ -132,7 +138,8 @@ pub fn solve<S: Scalar>(
         let znew = blas::matmul(&dmat, blas::Op::None, &y, blas::Op::None);
         let aznew = blas::matmul(&gmat, blas::Op::None, &y, blas::Op::None);
         x.axpy(S::one(), &znew);
-        r = mode.residual(a, b, x);
+        ws.put(r);
+        r = mode.residual_ws(a, b, x, &mut ws);
         // Count the augmented directions as iterations (they are extra
         // minimization dimensions, matching PETSc's per-cycle work).
         let rel = r.col_norm(0).to_f64() / bnorms[0];
@@ -163,7 +170,8 @@ pub fn solve<S: Scalar>(
         }
     }
 
-    let rfin = mode.residual(a, b, x);
+    ws.put(r);
+    let rfin = mode.residual_ws(a, b, x, &mut ws);
     let final_relres = vec![rfin.col_norm(0).to_f64() / bnorms[0]];
     let converged = converged && final_relres[0] <= opts.rtol * 10.0;
     let history = tracer.finish(converged, &final_relres);

@@ -16,9 +16,10 @@ use crate::smoother;
 use kryst_dense::{qr::HouseholderQr, DMat};
 use kryst_obs::{Event, PrecondApplyEvent, Recorder};
 use kryst_par::PrecondOp;
+use kryst_rt::par::{for_each_range, map_range, max_threads};
 use kryst_scalar::{Real, Scalar};
-use kryst_sparse::{ops, Coo, Csr, SparseDirect};
-use std::sync::Arc;
+use kryst_sparse::{ops, Coo, Csr, PrecondWorkspace, SparseDirect};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Which smoother runs on each level.
@@ -99,6 +100,9 @@ pub struct Amg<S: Scalar> {
     variable: bool,
     n: usize,
     recorder: Option<Arc<dyn Recorder>>,
+    /// Per-level scratch pool: after one warm-up cycle every V-cycle apply
+    /// draws all its level vectors from here and allocates nothing.
+    ws: Mutex<PrecondWorkspace<S>>,
 }
 
 enum CoarseSolver<S: Scalar> {
@@ -163,6 +167,7 @@ impl<S: Scalar> Amg<S> {
             variable,
             n,
             recorder: None,
+            ws: Mutex::new(PrecondWorkspace::new()),
         }
     }
 
@@ -195,56 +200,78 @@ impl<S: Scalar> Amg<S> {
         self.levels.iter().map(|l| l.a.nnz() as f64).sum::<f64>() / n0
     }
 
-    fn smooth(&self, l: usize, b: &DMat<S>, x: &mut DMat<S>) {
+    fn smooth_ws(&self, l: usize, b: &DMat<S>, x: &mut DMat<S>, ws: &mut PrecondWorkspace<S>) {
         let level = &self.levels[l];
         match &level.smoother {
-            LevelSmoother::Jacobi(j, iters) => j.smooth(&level.a, b, x, *iters),
-            LevelSmoother::Chebyshev(c) => c.smooth(b, x),
+            LevelSmoother::Jacobi(j, iters) => {
+                let mut r = ws.take(b.nrows(), b.ncols());
+                j.smooth_with(&level.a, b, x, *iters, &mut r);
+                ws.put(r);
+            }
+            LevelSmoother::Chebyshev(c) => c.smooth_ws(b, x, ws),
             LevelSmoother::Gmres(iters) => {
                 // z = GMRES_s(A, b − A x); x += z
-                let mut r = level.a.apply(x);
+                let mut r = ws.take(b.nrows(), b.ncols());
+                level.a.spmm(x, &mut r);
                 r.scale(-S::one());
                 r.axpy(S::one(), b);
-                let mut z = DMat::zeros(r.nrows(), r.ncols());
+                let mut z = ws.take(r.nrows(), r.ncols());
                 smoother::gmres_smooth(&level.a, &r, &mut z, *iters);
                 x.axpy(S::one(), &z);
+                ws.put(r);
+                ws.put(z);
             }
             LevelSmoother::Cg(iters) => {
-                let mut r = level.a.apply(x);
+                let mut r = ws.take(b.nrows(), b.ncols());
+                level.a.spmm(x, &mut r);
                 r.scale(-S::one());
                 r.axpy(S::one(), b);
-                let mut z = DMat::zeros(r.nrows(), r.ncols());
+                let mut z = ws.take(r.nrows(), r.ncols());
                 smoother::cg_smooth(&level.a, &r, &mut z, *iters);
                 x.axpy(S::one(), &z);
+                ws.put(r);
+                ws.put(z);
             }
         }
     }
 
-    fn vcycle(&self, l: usize, b: &DMat<S>, x: &mut DMat<S>) {
+    /// One V-cycle with every level vector drawn from the pool. All `p`
+    /// columns of `b`/`x` stream through each smoothing, restriction, and
+    /// prolongation sweep together; arithmetic per column is identical to
+    /// the single-column cycle.
+    fn vcycle_ws(&self, l: usize, b: &DMat<S>, x: &mut DMat<S>, ws: &mut PrecondWorkspace<S>) {
         if l + 1 == self.levels.len() {
             let f = match &self.coarse {
                 CoarseSolver::Direct(f) => f,
                 CoarseSolver::Regularized(f) => f,
             };
-            let sol = f.solve_multi(b, 8, 1);
-            x.copy_from(&sol);
+            let mut scratch = ws.take(b.nrows(), b.ncols());
+            f.solve_multi_into(b, x, &mut scratch, 8, 1);
+            ws.put(scratch);
             return;
         }
         let level = &self.levels[l];
         // Pre-smooth.
-        self.smooth(l, b, x);
+        self.smooth_ws(l, b, x, ws);
         // Residual and restriction.
-        let mut r = level.a.apply(x);
+        let p = b.ncols();
+        let mut r = ws.take(level.a.nrows(), p);
+        level.a.spmm(x, &mut r);
         r.scale(-S::one());
         r.axpy(S::one(), b);
-        let rc = level.pt.as_ref().unwrap().apply(&r);
-        let mut xc = DMat::zeros(rc.nrows(), rc.ncols());
-        self.vcycle(l + 1, &rc, &mut xc);
-        // Prolongate and correct.
-        let corr = level.p.as_ref().unwrap().apply(&xc);
-        x.axpy(S::one(), &corr);
+        let pt = level.pt.as_ref().unwrap();
+        let mut rc = ws.take(pt.nrows(), p);
+        pt.spmm(&r, &mut rc);
+        let mut xc = ws.take(pt.nrows(), p);
+        self.vcycle_ws(l + 1, &rc, &mut xc, ws);
+        // Prolongate (reusing the residual buffer) and correct.
+        level.p.as_ref().unwrap().spmm(&xc, &mut r);
+        x.axpy(S::one(), &r);
+        ws.put(rc);
+        ws.put(xc);
+        ws.put(r);
         // Post-smooth.
-        self.smooth(l, b, x);
+        self.smooth_ws(l, b, x, ws);
     }
 }
 
@@ -266,10 +293,16 @@ impl<S: Scalar> PrecondOp<S> for Amg<S> {
         self.n
     }
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
-        let t0 = Instant::now();
+        // Only read the clock when a recorder is attached (`set_recorder`
+        // drops disabled recorders): tracing off ⇒ no `Instant::now()`, no
+        // event construction.
+        let t0 = self.recorder.as_ref().map(|_| Instant::now());
         z.set_zero();
-        self.vcycle(0, r, z);
-        if let Some(rec) = &self.recorder {
+        {
+            let mut ws = self.ws.lock().unwrap();
+            self.vcycle_ws(0, r, z, &mut ws);
+        }
+        if let (Some(rec), Some(t0)) = (self.recorder.as_ref(), t0) {
             rec.record(&Event::PrecondApply(PrecondApplyEvent {
                 kind: "amg-vcycle",
                 cols: r.ncols(),
@@ -288,15 +321,12 @@ impl<S: Scalar> PrecondOp<S> for Amg<S> {
 fn tentative_prolongator<S: Scalar>(a: &Csr<S>, b: &DMat<S>, threshold: f64) -> (Csr<S>, DMat<S>) {
     let n = a.nrows();
     let nv = b.ncols();
-    let diag = a.diag();
-    // Strength test: |a_ij| > θ·√(|a_ii|·|a_jj|).
-    let strong = |i: usize, j: usize, v: S| -> bool {
-        if i == j {
-            return false;
-        }
-        let denom = (diag[i].abs() * diag[j].abs()).sqrt();
-        v.abs().to_f64() > threshold * denom.to_f64()
-    };
+    // Strength test |a_ij| > θ·√(|a_ii|·|a_jj|), evaluated for every
+    // nonzero up front in parallel (rows are disjoint flag ranges); the
+    // greedy aggregation below then only reads precomputed booleans, so
+    // its sequential visit order — and hence the hierarchy — is unchanged.
+    let (strong_flags, row_off) = strength_flags(a, threshold);
+    let strong = |i: usize, k: usize| -> bool { strong_flags[row_off[i] + k] };
 
     let mut agg = vec![usize::MAX; n];
     let mut nagg = 0usize;
@@ -307,7 +337,7 @@ fn tentative_prolongator<S: Scalar>(a: &Csr<S>, b: &DMat<S>, threshold: f64) -> 
         }
         let mut ok = true;
         for (k, &j) in a.row_indices(i).iter().enumerate() {
-            if strong(i, j, a.row_values(i)[k]) && agg[j] != usize::MAX {
+            if strong(i, k) && agg[j] != usize::MAX {
                 ok = false;
                 break;
             }
@@ -315,7 +345,7 @@ fn tentative_prolongator<S: Scalar>(a: &Csr<S>, b: &DMat<S>, threshold: f64) -> 
         if ok {
             agg[i] = nagg;
             for (k, &j) in a.row_indices(i).iter().enumerate() {
-                if strong(i, j, a.row_values(i)[k]) {
+                if strong(i, k) {
                     agg[j] = nagg;
                 }
             }
@@ -330,7 +360,7 @@ fn tentative_prolongator<S: Scalar>(a: &Csr<S>, b: &DMat<S>, threshold: f64) -> 
         }
         let mut target = usize::MAX;
         for (k, &j) in a.row_indices(i).iter().enumerate() {
-            if agg[j] != usize::MAX && strong(i, j, a.row_values(i)[k]) {
+            if agg[j] != usize::MAX && strong(i, k) {
                 target = agg[j];
                 break;
             }
@@ -382,37 +412,86 @@ fn tentative_prolongator<S: Scalar>(a: &Csr<S>, b: &DMat<S>, threshold: f64) -> 
         members[remap[g]].push(i);
     }
 
-    // Per-aggregate QR of the nullspace block.
+    // Per-aggregate QR of the nullspace block — aggregates are independent,
+    // so the factorizations run across the worker pool; assembly into the
+    // prolongator stays serial in aggregate order (deterministic layout).
     let ncoarse = ncoarse_agg * nv;
     let mut pcoo = Coo::with_capacity(n, ncoarse, n * nv);
     let mut bc = DMat::zeros(ncoarse, nv);
-    for (g, rows) in members.iter().enumerate() {
+    let blocks = map_range(ncoarse_agg, |g| {
+        let rows = &members[g];
         let m = rows.len();
-        let local = DMat::from_fn(m, nv, |i, j| b[(rows[i], j)]);
         if m >= nv {
+            let local = DMat::from_fn(m, nv, |i, j| b[(rows[i], j)]);
             let f = HouseholderQr::factor(local);
-            let q = f.q_thin();
-            let r = f.r();
-            for (li, &gi) in rows.iter().enumerate() {
-                for c in 0..nv {
-                    pcoo.push(gi, g * nv + c, q[(li, c)]);
-                }
-            }
-            for i in 0..nv {
-                for j in 0..nv {
-                    bc[(g * nv + i, j)] = r[(i, j)];
-                }
-            }
+            Some((f.q_thin(), f.r()))
         } else {
-            // Degenerate tiny component: inject identity on as many columns
-            // as there are rows.
-            for (li, &gi) in rows.iter().enumerate() {
-                pcoo.push(gi, g * nv + li, S::one());
-                bc[(g * nv + li, li)] = S::one();
+            None
+        }
+    });
+    for (g, (rows, block)) in members.iter().zip(&blocks).enumerate() {
+        match block {
+            Some((q, r)) => {
+                for (li, &gi) in rows.iter().enumerate() {
+                    for c in 0..nv {
+                        pcoo.push(gi, g * nv + c, q[(li, c)]);
+                    }
+                }
+                for i in 0..nv {
+                    for j in 0..nv {
+                        bc[(g * nv + i, j)] = r[(i, j)];
+                    }
+                }
+            }
+            None => {
+                // Degenerate tiny component: inject identity on as many
+                // columns as there are rows.
+                for (li, &gi) in rows.iter().enumerate() {
+                    pcoo.push(gi, g * nv + li, S::one());
+                    bc[(g * nv + li, li)] = S::one();
+                }
             }
         }
     }
     (pcoo.to_csr(), bc)
+}
+
+/// Evaluate the strength test for every stored nonzero of `a` in parallel.
+/// Returns a flat CSR-aligned flag array plus per-row offsets into it.
+fn strength_flags<S: Scalar>(a: &Csr<S>, threshold: f64) -> (Vec<bool>, Vec<usize>) {
+    let n = a.nrows();
+    let diag = a.diag();
+    let mut row_off = Vec::with_capacity(n + 1);
+    row_off.push(0usize);
+    for i in 0..n {
+        row_off.push(row_off[i] + a.row_indices(i).len());
+    }
+    let nnz = row_off[n];
+    let mut flags = vec![false; nnz];
+    let base = kryst_rt::par::SendPtr::new(flags.as_mut_ptr());
+    let fill = |lo: usize, hi: usize| {
+        // SAFETY: each row writes only flags[row_off[i]..row_off[i+1]] and
+        // row ranges are disjoint across parts.
+        for i in lo..hi {
+            let cols = a.row_indices(i);
+            let vals = a.row_values(i);
+            for (k, (&j, &v)) in cols.iter().zip(vals).enumerate() {
+                let s = if i == j {
+                    false
+                } else {
+                    let denom = (diag[i].abs() * diag[j].abs()).sqrt();
+                    v.abs().to_f64() > threshold * denom.to_f64()
+                };
+                unsafe { *base.ptr().add(row_off[i] + k) = s };
+            }
+        }
+    };
+    if max_threads() > 1 && n >= 256 {
+        for_each_range(n, 0, fill);
+    } else {
+        fill(0, n);
+    }
+    (flags, row_off)
 }
 
 /// `P = (I − ω·D⁻¹·A)·P̂` with `ω = damping / λ_max(D⁻¹A)`.

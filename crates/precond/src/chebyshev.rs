@@ -9,7 +9,8 @@
 use kryst_dense::DMat;
 use kryst_par::PrecondOp;
 use kryst_scalar::{Real, Scalar};
-use kryst_sparse::Csr;
+use kryst_sparse::{Csr, PrecondWorkspace};
+use std::sync::Mutex;
 
 /// Chebyshev smoother of fixed degree.
 pub struct Chebyshev<S: Scalar> {
@@ -19,6 +20,9 @@ pub struct Chebyshev<S: Scalar> {
     /// Smoothing interval `[lo, hi]` on the spectrum of `D⁻¹A`.
     lo: f64,
     hi: f64,
+    /// Scratch pool for standalone applies (`apply` takes `&self`); AMG
+    /// threads its own pool through [`Chebyshev::smooth_ws`] instead.
+    ws: Mutex<PrecondWorkspace<S>>,
 }
 
 impl<S: Scalar> Chebyshev<S> {
@@ -40,6 +44,7 @@ impl<S: Scalar> Chebyshev<S> {
             degree,
             lo: lmax / ratio,
             hi: 1.1 * lmax,
+            ws: Mutex::new(PrecondWorkspace::new()),
         }
     }
 
@@ -51,16 +56,25 @@ impl<S: Scalar> Chebyshev<S> {
     /// Run `x ⟵ x + p(D⁻¹A)·D⁻¹·(b − A·x)` via the standard three-term
     /// Chebyshev recurrence.
     pub fn smooth(&self, b: &DMat<S>, x: &mut DMat<S>) {
+        let mut ws = self.ws.lock().unwrap();
+        self.smooth_ws(b, x, &mut ws);
+    }
+
+    /// [`Chebyshev::smooth`] drawing its two scratch multivectors from a
+    /// caller-provided pool: zero allocations in steady state, and all `p`
+    /// columns stream through each matrix sweep.
+    pub fn smooth_ws(&self, b: &DMat<S>, x: &mut DMat<S>, ws: &mut PrecondWorkspace<S>) {
         let n = b.nrows();
         let p = b.ncols();
         let theta = 0.5 * (self.hi + self.lo);
         let delta = 0.5 * (self.hi - self.lo);
-        let mut r = DMat::zeros(n, p);
+        let mut r = ws.take(n, p);
+        let mut d = ws.take(n, p);
         // r = D⁻¹(b − A x)
         let residual = |x: &DMat<S>, r: &mut DMat<S>| {
             self.a.spmm(x, r);
             for j in 0..p {
-                let bj = b.col(j).to_vec();
+                let bj = b.col(j);
                 let rj = r.col_mut(j);
                 for i in 0..n {
                     rj[i] = self.inv_diag[i] * (bj[i] - rj[i]);
@@ -69,7 +83,7 @@ impl<S: Scalar> Chebyshev<S> {
         };
         residual(x, &mut r);
         // d = r/θ; x += d
-        let mut d = r.clone();
+        d.copy_from(&r);
         d.scale(S::from_f64(1.0 / theta));
         x.axpy(S::one(), &d);
         let sigma = theta / delta;
@@ -81,7 +95,7 @@ impl<S: Scalar> Chebyshev<S> {
             let c1 = S::from_f64(rho_next * rho);
             let c2 = S::from_f64(2.0 * rho_next / delta);
             for j in 0..p {
-                let rj = r.col(j).to_vec();
+                let rj = r.col(j);
                 let dj = d.col_mut(j);
                 for i in 0..n {
                     dj[i] = c1 * dj[i] + c2 * rj[i];
@@ -90,6 +104,8 @@ impl<S: Scalar> Chebyshev<S> {
             x.axpy(S::one(), &d);
             rho = rho_next;
         }
+        ws.put(r);
+        ws.put(d);
     }
 }
 

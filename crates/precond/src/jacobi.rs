@@ -32,11 +32,24 @@ impl<S: Scalar> Jacobi<S> {
     /// One smoothing sweep: `x ⟵ x + ω·D⁻¹·(b − A·x)` repeated `iters` times.
     pub fn smooth(&self, a: &Csr<S>, b: &DMat<S>, x: &mut DMat<S>, iters: usize) {
         let mut r = DMat::zeros(b.nrows(), b.ncols());
+        self.smooth_with(a, b, x, iters, &mut r);
+    }
+
+    /// [`Jacobi::smooth`] with caller-provided residual scratch (`n × p`):
+    /// performs no allocations.
+    pub fn smooth_with(
+        &self,
+        a: &Csr<S>,
+        b: &DMat<S>,
+        x: &mut DMat<S>,
+        iters: usize,
+        r: &mut DMat<S>,
+    ) {
         for _ in 0..iters {
-            a.spmm(x, &mut r);
+            a.spmm(x, r);
             for j in 0..b.ncols() {
                 let bj = b.col(j);
-                let rj = r.col(j).to_vec();
+                let rj = r.col(j);
                 let xj = x.col_mut(j);
                 for i in 0..bj.len() {
                     xj[i] += self.weight * self.inv_diag[i] * (bj[i] - rj[i]);
@@ -51,8 +64,10 @@ impl<S: Scalar> PrecondOp<S> for Jacobi<S> {
         self.inv_diag.len()
     }
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
+        // `r` and `z` are distinct borrows — scale straight across, no
+        // per-column clone.
         for j in 0..r.ncols() {
-            let rj = r.col(j).to_vec();
+            let rj = r.col(j);
             let zj = z.col_mut(j);
             for i in 0..rj.len() {
                 zj[i] = self.weight * self.inv_diag[i] * rj[i];

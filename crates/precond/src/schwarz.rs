@@ -17,13 +17,13 @@
 use kryst_dense::DMat;
 use kryst_obs::{Event, PrecondApplyEvent, Recorder};
 use kryst_par::{CommStats, PrecondOp};
-use kryst_rt::par::{map_range, map_vec};
+use kryst_rt::par::{for_each_range, map_vec};
 use kryst_scalar::Scalar;
 use kryst_sparse::partition::{
     grow_overlap, partition_of_unity, restricted_partition_of_unity, Partition,
 };
 use kryst_sparse::{Csr, SparseDirect};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Schwarz flavor.
@@ -67,6 +67,27 @@ struct Subdomain<S: Scalar> {
     /// Partition-of-unity weights aligned with `set`.
     weights: Vec<f64>,
     solver: SparseDirect<S>,
+    /// Persistent `(local, permuted-scratch)` buffers for the gathered RHS
+    /// and the in-place banded solve. Allocated lazily on the first apply
+    /// (and again only if the block width changes), so steady-state applies
+    /// are allocation-free. One mutex per subdomain: the parallel sweep
+    /// assigns each subdomain to exactly one worker, so locks never
+    /// contend.
+    bufs: Mutex<(DMat<S>, DMat<S>)>,
+}
+
+/// Reshape `m` to `nr × nc`, reusing its backing allocation when the
+/// capacity already fits. Contents are unspecified afterwards (callers
+/// overwrite every entry).
+fn reshape<S: Scalar>(m: &mut DMat<S>, nr: usize, nc: usize) {
+    if m.nrows() == nr && m.ncols() == nc {
+        return;
+    }
+    let old = std::mem::replace(m, DMat::zeros(0, 0));
+    let mut v = old.into_vec();
+    v.clear();
+    v.resize(nr * nc, S::zero());
+    *m = DMat::from_col_major(nr, nc, v);
 }
 
 /// The assembled Schwarz preconditioner.
@@ -125,6 +146,7 @@ impl<S: Scalar> Schwarz<S> {
                 set,
                 weights: w,
                 solver,
+                bufs: Mutex::new((DMat::zeros(0, 0), DMat::zeros(0, 0))),
             }
         });
         let flops_per_rhs = subs
@@ -200,7 +222,9 @@ impl<S: Scalar> PrecondOp<S> for Schwarz<S> {
 
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
         let p = r.ncols();
-        let t0 = Instant::now();
+        // Clock only when tracing is actually on.
+        let rec = self.recorder.as_ref().filter(|rc| rc.enabled());
+        let t0 = rec.map(|_| Instant::now());
         if let Some(stats) = &self.stats {
             // Each subdomain exchanges its overlap with neighbors before and
             // after the local solve; charge 2 messages per subdomain as a
@@ -214,43 +238,46 @@ impl<S: Scalar> PrecondOp<S> for Schwarz<S> {
             );
             stats.record_flops(self.flops_per_rhs * p);
         }
-        // Solve every subdomain in parallel, then apply the weighted
+        // Solve every subdomain in parallel (gather → in-place banded solve
+        // in the subdomain's persistent buffers), then apply the weighted
         // scatter-adds serially in subdomain order — the accumulation order
         // is fixed regardless of thread count, so traces stay deterministic.
-        let n = self.n;
-        let sols: Vec<DMat<S>> = map_range(self.subs.len(), |si| {
-            let sub = &self.subs[si];
-            let ni = sub.set.len();
-            let mut local = DMat::zeros(ni, p);
-            for c in 0..p {
-                let rc = r.col(c);
-                let lc = local.col_mut(c);
-                for (li, &g) in sub.set.iter().enumerate() {
-                    lc[li] = rc[g];
+        for_each_range(self.subs.len(), 0, |lo, hi| {
+            for sub in &self.subs[lo..hi] {
+                let ni = sub.set.len();
+                let mut guard = sub.bufs.lock().unwrap();
+                let (local, scratch) = &mut *guard;
+                reshape(local, ni, p);
+                reshape(scratch, ni, p);
+                for c in 0..p {
+                    let rc = r.col(c);
+                    let lc = local.col_mut(c);
+                    for (li, &g) in sub.set.iter().enumerate() {
+                        lc[li] = rc[g];
+                    }
                 }
+                sub.solver.solve_in_place_ws(local, scratch, 8, 1);
             }
-            sub.solver.solve_multi(&local, 8, 1)
         });
-        let mut acc = DMat::<S>::zeros(n, p);
-        for (sub, sol) in self.subs.iter().zip(&sols) {
+        z.set_zero();
+        for sub in &self.subs {
+            let guard = sub.bufs.lock().unwrap();
+            let sol = &guard.0;
             for c in 0..p {
-                let ac = acc.col_mut(c);
+                let ac = z.col_mut(c);
                 let sc = sol.col(c);
                 for (li, &g) in sub.set.iter().enumerate() {
                     ac[g] += S::from_f64(sub.weights[li]) * sc[li];
                 }
             }
         }
-        z.copy_from(&acc);
-        if let Some(rec) = &self.recorder {
-            if rec.enabled() {
-                rec.record(&Event::PrecondApply(PrecondApplyEvent {
-                    kind: self.kind_name(),
-                    cols: p,
-                    detail: self.subs.len(),
-                    wall_ns: t0.elapsed().as_nanos() as u64,
-                }));
-            }
+        if let Some(rec) = rec {
+            rec.record(&Event::PrecondApply(PrecondApplyEvent {
+                kind: self.kind_name(),
+                cols: p,
+                detail: self.subs.len(),
+                wall_ns: t0.expect("t0 set when tracing").elapsed().as_nanos() as u64,
+            }));
         }
     }
 }

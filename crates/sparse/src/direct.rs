@@ -94,6 +94,72 @@ impl<S: Scalar> SparseDirect<S> {
         let out = self.solve_multi(b, 8, 1);
         b.copy_from(&out);
     }
+
+    /// Allocation-free in-place block solve: permutes `b` into `scratch`
+    /// (`n × p`, fully overwritten), runs the in-place banded solve there,
+    /// and unpermutes back into `b`. Bit-identical to [`solve_multi`]
+    /// (same permute → banded solve → unpermute element order).
+    ///
+    /// [`solve_multi`]: SparseDirect::solve_multi
+    pub fn solve_in_place_ws(
+        &self,
+        b: &mut DMat<S>,
+        scratch: &mut DMat<S>,
+        tile: usize,
+        threads: usize,
+    ) {
+        assert_eq!(b.nrows(), self.n);
+        let p = b.ncols();
+        assert_eq!((scratch.nrows(), scratch.ncols()), (self.n, p));
+        for c in 0..p {
+            let src = b.col(c);
+            let dst = scratch.col_mut(c);
+            for (k, &pi) in self.perm.iter().enumerate() {
+                dst[k] = src[pi];
+            }
+        }
+        self.lu.solve_multi(scratch, tile, threads);
+        for c in 0..p {
+            let src = scratch.col(c);
+            let dst = b.col_mut(c);
+            for (k, &pi) in self.perm.iter().enumerate() {
+                dst[pi] = src[k];
+            }
+        }
+    }
+
+    /// Allocation-free variant of [`SparseDirect::solve_multi`]: permutes
+    /// `b` into `scratch`, runs the in-place banded solve there, and
+    /// unpermutes into `out` (both must be `n × p`). Bit-identical to
+    /// `solve_multi`.
+    pub fn solve_multi_into(
+        &self,
+        b: &DMat<S>,
+        out: &mut DMat<S>,
+        scratch: &mut DMat<S>,
+        tile: usize,
+        threads: usize,
+    ) {
+        assert_eq!(b.nrows(), self.n);
+        let p = b.ncols();
+        assert_eq!((out.nrows(), out.ncols()), (self.n, p));
+        assert_eq!((scratch.nrows(), scratch.ncols()), (self.n, p));
+        for c in 0..p {
+            let src = b.col(c);
+            let dst = scratch.col_mut(c);
+            for (k, &pi) in self.perm.iter().enumerate() {
+                dst[k] = src[pi];
+            }
+        }
+        self.lu.solve_multi(scratch, tile, threads);
+        for c in 0..p {
+            let src = scratch.col(c);
+            let dst = out.col_mut(c);
+            for (k, &pi) in self.perm.iter().enumerate() {
+                dst[pi] = src[k];
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,8 +16,9 @@
 //!   growth for the Schwarz preconditioners (stand-in for SCOTCH),
 //! * [`split`] — interior/boundary row classification so SpMM on the
 //!   interior overlaps the halo exchange,
-//! * [`workspace`] — the [`workspace::SpmmWorkspace`] buffer pool that makes
-//!   per-iteration kernel calls allocation-free.
+//! * [`workspace`] — the [`workspace::SpmmWorkspace`] and
+//!   [`workspace::PrecondWorkspace`] buffer pools that make per-iteration
+//!   kernel and preconditioner calls allocation-free.
 
 pub mod band;
 pub mod coo;
@@ -33,4 +34,4 @@ pub use coo::Coo;
 pub use csr::Csr;
 pub use direct::SparseDirect;
 pub use split::RowSplit;
-pub use workspace::SpmmWorkspace;
+pub use workspace::{PrecondWorkspace, SpmmWorkspace};

@@ -4,24 +4,76 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the BLAS/LAPACK reference forms
 
 use crate::Csr;
+use kryst_rt::par::{map_range, max_threads};
 use kryst_scalar::Scalar;
 
+/// Row count below which `spgemm` stays serial (pool dispatch would cost
+/// more than the product itself on the coarse AMG levels).
+const SPGEMM_PAR_MIN_ROWS: usize = 256;
+
 /// `C = A·B` (CSR × CSR) via row-merge with a dense accumulator.
+///
+/// Rows are independent, so large products split into contiguous row ranges
+/// across the worker pool, each with its own accumulator; per-row
+/// accumulation order is the serial order, so the result is bit-identical
+/// at any thread count.
 pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
     assert_eq!(a.ncols(), b.nrows(), "spgemm: dimension mismatch");
     let nrows = a.nrows();
     let ncols = b.ncols();
+    let t = max_threads();
+    if t <= 1 || nrows < SPGEMM_PAR_MIN_ROWS {
+        let (lens, indices, data) = spgemm_rows(a, b, 0, nrows);
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        indptr.push(0usize);
+        for l in lens {
+            indptr.push(indptr.last().unwrap() + l);
+        }
+        return Csr::from_raw(nrows, ncols, indptr, indices, data);
+    }
+    let per = nrows.div_ceil(t);
+    let nparts = nrows.div_ceil(per);
+    let parts = map_range(nparts, |pi| {
+        let lo = pi * per;
+        let hi = ((pi + 1) * per).min(nrows);
+        spgemm_rows(a, b, lo, hi)
+    });
+    // Stitch the per-part triples back into one CSR.
+    let nnz: usize = parts.iter().map(|(_, idx, _)| idx.len()).sum();
     let mut indptr = Vec::with_capacity(nrows + 1);
+    let mut indices = Vec::with_capacity(nnz);
+    let mut data = Vec::with_capacity(nnz);
+    indptr.push(0usize);
+    for (lens, idx, vals) in parts {
+        for l in lens {
+            indptr.push(indptr.last().unwrap() + l);
+        }
+        indices.extend_from_slice(&idx);
+        data.extend_from_slice(&vals);
+    }
+    Csr::from_raw(nrows, ncols, indptr, indices, data)
+}
+
+/// Gustavson row-merge over the row range `[lo, hi)`; returns per-row
+/// lengths plus the concatenated column indices and values.
+#[allow(clippy::type_complexity)]
+fn spgemm_rows<S: Scalar>(
+    a: &Csr<S>,
+    b: &Csr<S>,
+    lo: usize,
+    hi: usize,
+) -> (Vec<usize>, Vec<usize>, Vec<S>) {
+    let ncols = b.ncols();
+    let mut lens = Vec::with_capacity(hi - lo);
     let mut indices = Vec::new();
     let mut data = Vec::new();
-    indptr.push(0);
 
     // Dense accumulator with a generation stamp to avoid clearing.
     let mut acc = vec![S::zero(); ncols];
     let mut stamp = vec![usize::MAX; ncols];
     let mut touched: Vec<usize> = Vec::new();
 
-    for i in 0..nrows {
+    for i in lo..hi {
         touched.clear();
         for (k, &ac) in a.row_indices(i).iter().enumerate() {
             let av = a.row_values(i)[k];
@@ -36,6 +88,7 @@ pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
             }
         }
         touched.sort_unstable();
+        let before = indices.len();
         for &c in &touched {
             let v = acc[c];
             if v != S::zero() {
@@ -43,9 +96,9 @@ pub fn spgemm<S: Scalar>(a: &Csr<S>, b: &Csr<S>) -> Csr<S> {
                 data.push(v);
             }
         }
-        indptr.push(indices.len());
+        lens.push(indices.len() - before);
     }
-    Csr::from_raw(nrows, ncols, indptr, indices, data)
+    (lens, indices, data)
 }
 
 /// Galerkin coarse operator `A_c = Rᵀ·A·R` with `R = Pᵀ` — i.e. `Pᵀ·A·P`
@@ -153,6 +206,26 @@ mod tests {
         let mid = n / 4;
         let s: f64 = acoarse.row_values(mid).iter().sum();
         assert!(s.abs() < 1e-13);
+    }
+
+    #[test]
+    fn spgemm_parallel_matches_serial_bitwise() {
+        // Big enough to cross SPGEMM_PAR_MIN_ROWS so the pooled path runs
+        // when KRYST_THREADS > 1; the result must equal the serial row
+        // sweep bit for bit.
+        let a = rand_csr(600, 500, 5);
+        let b = rand_csr(500, 400, 6);
+        let c = spgemm(&a, &b);
+        let (lens, idx, vals) = spgemm_rows(&a, &b, 0, a.nrows());
+        let mut at = 0usize;
+        for i in 0..a.nrows() {
+            assert_eq!(c.row_indices(i).len(), lens[i], "row {i} length");
+            for k in 0..lens[i] {
+                assert_eq!(c.row_indices(i)[k], idx[at + k]);
+                assert_eq!(c.row_values(i)[k].to_bits(), vals[at + k].to_bits());
+            }
+            at += lens[i];
+        }
     }
 
     #[test]

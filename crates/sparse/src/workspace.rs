@@ -69,6 +69,70 @@ impl<S: Scalar> SpmmWorkspace<S> {
     }
 }
 
+/// A best-fit buffer pool for preconditioner scratch space.
+///
+/// Unlike [`SpmmWorkspace`] (which serves one fixed `n × p` shape per solver
+/// and picks the largest free buffer), a preconditioner apply cycles through
+/// *many* sizes at once — one pair of vectors per AMG level, per-subdomain
+/// gather buffers for Schwarz, smoother scratch — and the largest-capacity
+/// policy would hand the coarsest level the finest level's buffer and then
+/// grow a fresh one for the fine sweep. `take` here picks the *smallest*
+/// free buffer whose capacity fits (best fit); only when nothing fits does
+/// it grow the largest free buffer (or allocate). After one warm-up apply
+/// the pool holds one buffer per distinct request and steady-state applies
+/// allocate nothing.
+#[derive(Debug, Default)]
+pub struct PrecondWorkspace<S> {
+    free: Vec<Vec<S>>,
+}
+
+impl<S: Scalar> PrecondWorkspace<S> {
+    /// An empty workspace (no buffers held).
+    pub fn new() -> Self {
+        Self { free: Vec::new() }
+    }
+
+    /// A zeroed `nrows × ncols` matrix, reusing the best-fitting pooled
+    /// allocation when one is available.
+    pub fn take(&mut self, nrows: usize, ncols: usize) -> DMat<S> {
+        let len = nrows * ncols;
+        // Best fit: smallest capacity that still holds `len`.
+        let pick = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.capacity() >= len)
+            .min_by_key(|(_, v)| v.capacity())
+            .map(|(i, _)| i)
+            .or_else(|| {
+                // Nothing fits: grow the largest free buffer instead of
+                // leaving it stranded below every future request.
+                self.free
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, v)| v.capacity())
+                    .map(|(i, _)| i)
+            });
+        let mut data = match pick {
+            Some(i) => self.free.swap_remove(i),
+            None => Vec::with_capacity(len),
+        };
+        data.clear();
+        data.resize(len, S::zero());
+        DMat::from_col_major(nrows, ncols, data)
+    }
+
+    /// Return a matrix's backing buffer to the pool for reuse.
+    pub fn put(&mut self, m: DMat<S>) {
+        self.free.push(m.into_vec());
+    }
+
+    /// Number of pooled free buffers (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +170,49 @@ mod tests {
         ws.put(b);
         let c = ws.take(128, 8); // grows the (single) pooled buffer
         assert_eq!((c.nrows(), c.ncols()), (128, 8));
+    }
+
+    #[test]
+    fn precond_best_fit_keeps_multi_size_pool_stable() {
+        // Simulate a 3-level V-cycle: requests of 1000, 250, 60 elements.
+        let mut ws = PrecondWorkspace::<f64>::new();
+        let sizes = [(1000usize, 1usize), (250, 1), (60, 1)];
+        // Warm-up: each take allocates; put everything back.
+        let warm: Vec<_> = sizes.iter().map(|&(n, p)| ws.take(n, p)).collect();
+        let ptrs: Vec<_> = warm.iter().map(|m| m.as_slice().as_ptr()).collect();
+        for m in warm {
+            ws.put(m);
+        }
+        assert_eq!(ws.pooled(), 3);
+        // Steady state: the same sizes must come back from the same three
+        // allocations (best fit pairs each request with its own buffer).
+        let again: Vec<_> = sizes.iter().map(|&(n, p)| ws.take(n, p)).collect();
+        let mut got: Vec<_> = again.iter().map(|m| m.as_slice().as_ptr()).collect();
+        let mut want = ptrs.clone();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "steady-state takes must reuse pooled buffers");
+        // And best fit specifically: the 60-element request must NOT have
+        // been served by the 1000-element buffer.
+        assert_eq!(again[0].as_slice().as_ptr(), ptrs[0]);
+        assert_eq!(again[2].as_slice().as_ptr(), ptrs[2]);
+        for m in again {
+            ws.put(m);
+        }
+    }
+
+    #[test]
+    fn precond_grows_largest_when_nothing_fits() {
+        let mut ws = PrecondWorkspace::<f64>::new();
+        ws.put(ws_mat(16));
+        ws.put(ws_mat(64));
+        let big = ws.take(256, 1); // grows the 64-element buffer
+        assert_eq!(ws.pooled(), 1);
+        assert_eq!(ws.free[0].capacity(), 16);
+        ws.put(big);
+    }
+
+    fn ws_mat(len: usize) -> DMat<f64> {
+        DMat::from_col_major(len, 1, vec![0.0; len])
     }
 }

@@ -346,3 +346,77 @@ fn gcrodr30_10_laplace400_fused_matches_golden() {
     let got2 = Golden::capture("gcrodr", &ring2.events(), &res2);
     check_against_golden("gcrodr30_10_laplace400_fused_warm.json", &got2);
 }
+
+/// GMRES(30) with a smoothed-aggregation AMG right preconditioner on the
+/// 2-D Poisson problem (24×24 interior grid). Pins the whole preconditioned
+/// trajectory: AMG setup (aggregation, prolongator smoothing, Galerkin
+/// products) and every V-cycle apply must stay bit-deterministic across
+/// thread counts, so the iteration count, reduction total, and final
+/// residual are all exact.
+#[test]
+fn gmres30_amg_poisson24_matches_golden() {
+    let p = kryst_pde::poisson::poisson2d::<f64>(24, 24);
+    let n = p.a.nrows();
+    let amg = kryst_precond::Amg::new(
+        &p.a,
+        p.near_nullspace.as_ref(),
+        &kryst_precond::AmgOpts::default(),
+    );
+    let b = pinned_rhs(n, 42);
+    let ring = Arc::new(RingRecorder::new(1 << 16));
+    let opts = instrumented_opts(
+        SolveOpts {
+            rtol: 1e-10,
+            restart: 30,
+            max_iters: 200,
+            ortho: OrthPath::Classic,
+            ..Default::default()
+        },
+        &ring,
+    );
+    let mut x = DMat::zeros(n, 1);
+    let res = gmres::solve(&p.a, &amg, &b, &mut x, &opts);
+    assert!(
+        res.converged,
+        "GMRES(30)+AMG on poisson 24x24: {:?}",
+        res.final_relres
+    );
+    let got = Golden::capture("gmres", &ring.events(), &res);
+    check_against_golden("gmres30_amg_poisson24.json", &got);
+}
+
+/// GCRO-DR(30, 10) with an ILU(0) right preconditioner on 2-D Poisson
+/// (20×20 interior grid, where ILU(0) actually discards fill — on a
+/// tridiagonal matrix it would be exact and the trace trivial). The
+/// level-scheduled multi-RHS triangular sweeps must reproduce the serial
+/// per-column reference bit for bit, so this trace is pinned exactly.
+#[test]
+fn gcrodr30_10_ilu_poisson20_matches_golden() {
+    let p = kryst_pde::poisson::poisson2d::<f64>(20, 20);
+    let a = p.a;
+    let n = a.nrows();
+    let ilu = kryst_precond::Ilu0::new(&a).expect("ILU(0) on 2-D Poisson");
+    let b = pinned_rhs(n, 42);
+    let ring = Arc::new(RingRecorder::new(1 << 16));
+    let opts = instrumented_opts(
+        SolveOpts {
+            rtol: 1e-8,
+            restart: 30,
+            recycle: 10,
+            max_iters: 2000,
+            ortho: OrthPath::Classic,
+            ..Default::default()
+        },
+        &ring,
+    );
+    let mut ctx = SolverContext::new();
+    let mut x = DMat::zeros(n, 1);
+    let res = gcrodr::solve(&a, &ilu, &b, &mut x, &opts, &mut ctx);
+    assert!(
+        res.converged,
+        "GCRO-DR(30,10)+ILU on poisson 20x20: {:?}",
+        res.final_relres
+    );
+    let got = Golden::capture("gcrodr", &ring.events(), &res);
+    check_against_golden("gcrodr30_10_ilu_poisson20.json", &got);
+}
