@@ -143,6 +143,14 @@ pub struct BlockArnoldi<'a, S: Scalar> {
     /// square of the step's cancellation amplification, re-orthogonalized
     /// steps hold it.
     fused_loss: f64,
+    /// Orthogonalization passes taken by the most recent step (1, or 2 when
+    /// re-orthogonalization triggered; always 1 on the classic path).
+    last_passes: usize,
+    /// Cancellation amplification of the most recent step's first pass
+    /// (1.0 on the classic path).
+    last_amp: f64,
+    /// Whether the most recent step needed a rank-revealing CholQR refresh.
+    last_refreshed: bool,
     stats: Option<&'a CommStats>,
     /// Numerical rank of the initial residual block (breakdown detection).
     pub initial_rank: usize,
@@ -181,6 +189,9 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
             orth,
             path: OrthPath::Classic,
             fused_loss: f64::EPSILON,
+            last_passes: 1,
+            last_amp: 1.0,
+            last_refreshed: false,
             stats,
             initial_rank: p,
             last_step_rank: p,
@@ -298,6 +309,9 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
                 self.fused_loss,
             );
             self.last_step_rank = out.rank;
+            self.last_passes = out.passes;
+            self.last_amp = out.amp;
+            self.last_refreshed = out.refreshed;
             if out.passes == 1 {
                 self.fused_loss *= out.amp * out.amp;
             }
@@ -333,6 +347,9 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
             }
             let out = orthogonalize_block(&self.v, (j + 1) * p, &mut w, self.orth);
             self.last_step_rank = out.rank;
+            self.last_passes = 1;
+            self.last_amp = 1.0;
+            self.last_refreshed = false;
             if let Some(st) = self.stats {
                 st.record_reductions(
                     out.reductions,
@@ -403,6 +420,29 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
     /// Block width.
     pub fn p(&self) -> usize {
         self.p
+    }
+
+    /// Running orthogonality-loss estimate of the fused path (units of
+    /// machine ε; `ε` while loss-free or on the classic path).
+    pub fn fused_loss(&self) -> f64 {
+        self.fused_loss
+    }
+
+    /// Orthogonalization passes the most recent step took (2 means the
+    /// adaptive re-orthogonalization triggered).
+    pub fn last_orth_passes(&self) -> usize {
+        self.last_passes
+    }
+
+    /// Cancellation amplification of the most recent step's first pass.
+    pub fn last_orth_amp(&self) -> f64 {
+        self.last_amp
+    }
+
+    /// Whether the most recent step fell back to a rank-revealing CholQR
+    /// refresh (Gram downdate rejected).
+    pub fn last_orth_refreshed(&self) -> bool {
+        self.last_refreshed
     }
 
     /// Deficient rank to report on an iteration event: the initial block's

@@ -27,7 +27,7 @@ use crate::trace::SolveTracer;
 use kryst_dense::eig::{self, EigDecomp};
 use kryst_dense::qr::HouseholderQr;
 use kryst_dense::{blas, chol, tri, DMat};
-use kryst_obs::SpanKind;
+use kryst_obs::{profile, DiagKind, Phase, SpanKind};
 use kryst_par::{LinOp, PrecondOp};
 use kryst_scalar::{Real, Scalar};
 
@@ -117,6 +117,7 @@ pub fn solve<S: Scalar>(
 
     // ---- Lines 2–9: reuse a previous recycle space. --------------------
     let setup_probe = tracer.span_start();
+    let setup_timer = profile(Phase::RecycleSetup);
     let mut space: Option<RecycleSpace<S>> = None;
     if let Some(mut rec) = ctx.recycle.take() {
         if rec.u.nrows() == n && rec.u.ncols() >= 1 {
@@ -156,6 +157,7 @@ pub fn solve<S: Scalar>(
             space = Some(rec);
         }
     }
+    drop(setup_timer);
     tracer.span_end(setup_probe, SpanKind::Setup, 0);
 
     // ---- Lines 10–21: first cycle is plain (block) GMRES. ---------------
@@ -172,6 +174,15 @@ pub fn solve<S: Scalar>(
             iters += 1;
             let rel: Vec<f64> = res.iter().zip(&bnorms).map(|(rr, bb)| rr / bb).collect();
             tracer.iteration(cycle, iters - 1, rel, orth_name, arn.breakdown_rank(first));
+            if arn.last_orth_passes() > 1 || arn.last_orth_refreshed() {
+                tracer.diag(
+                    cycle,
+                    iters - 1,
+                    DiagKind::OrthLoss,
+                    arn.fused_loss(),
+                    arn.last_orth_passes(),
+                );
+            }
             first = false;
             if !any_above(&res, &bnorms, opts.rtol) {
                 done = true;
@@ -213,6 +224,13 @@ pub fn solve<S: Scalar>(
             let pk = select_smallest::<S>(&decomp, kc);
             let kc = pk.ncols();
             if kc >= 1 {
+                tracer.diag(
+                    cycle,
+                    iters.saturating_sub(1),
+                    DiagKind::RitzQuality,
+                    min_ritz_magnitude(&decomp),
+                    kc,
+                );
                 // [Q,R] = qr(H̄·P); C = V·Q; U = Z·P·R⁻¹.
                 let hp = blas::matmul(&arn.hraw_active(), blas::Op::None, &pk, blas::Op::None);
                 let f = HouseholderQr::factor(hp);
@@ -271,6 +289,15 @@ pub fn solve<S: Scalar>(
             iters += 1;
             let rel: Vec<f64> = res.iter().zip(&bnorms).map(|(rr, bb)| rr / bb).collect();
             tracer.iteration(cycle, iters - 1, rel, orth_name, arn.breakdown_rank(first));
+            if arn.last_orth_passes() > 1 || arn.last_orth_refreshed() {
+                tracer.diag(
+                    cycle,
+                    iters - 1,
+                    DiagKind::OrthLoss,
+                    arn.fused_loss(),
+                    arn.last_orth_passes(),
+                );
+            }
             first = false;
             if !any_above(&res, &bnorms, opts.rtol) {
                 done = true;
@@ -329,9 +356,11 @@ pub fn solve<S: Scalar>(
             };
             ws = arn.into_workspace();
             let refresh_probe = tracer.span_start();
+            let refresh_timer = profile(Phase::RecycleSetup);
             space = Some(refresh_recycle_space(
                 rec, parts, kc, opts, stats, &tracer, cycle,
             ));
+            drop(refresh_timer);
             tracer.span_end(refresh_probe, SpanKind::RecycleRefresh, cycle);
         } else {
             ws = arn.into_workspace();
@@ -444,6 +473,13 @@ fn refresh_recycle_space<S: Scalar>(
     if pk.ncols() == 0 {
         return rec;
     }
+    tracer.diag(
+        cycle,
+        tracer.iterations().saturating_sub(1),
+        DiagKind::RitzQuality,
+        min_ritz_magnitude(&decomp),
+        pk.ncols(),
+    );
     // Lines 35–37: [Q,R] = qr(G·P); C ⟵ [C V]·Q; U ⟵ [U Z]·P·R⁻¹.
     let gp = blas::matmul(&g, blas::Op::None, &pk, blas::Op::None);
     let f = HouseholderQr::factor(gp);
@@ -455,6 +491,17 @@ fn refresh_recycle_space<S: Scalar>(
     let mut u_new = blas::matmul(&uz, blas::Op::None, &pk, blas::Op::None);
     safe_right_solve(&mut u_new, &rfac);
     RecycleSpace { u: u_new, c: c_new }
+}
+
+/// Smallest harmonic-Ritz magnitude of a deflation eigenproblem — the
+/// quality signal carried on [`DiagKind::RitzQuality`] events (a kept value
+/// near zero flags a nearly singular recycle candidate).
+fn min_ritz_magnitude<R: Real>(decomp: &EigDecomp<R>) -> f64 {
+    decomp.values.iter().fold(f64::INFINITY, |acc, l| {
+        let re = l.re.to_f64();
+        let im = l.im.to_f64();
+        acc.min(re.hypot(im))
+    })
 }
 
 /// `X ⟵ X·R⁻¹` with tiny-pivot protection (deflation eigenvectors can be

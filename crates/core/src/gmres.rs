@@ -67,6 +67,17 @@ pub fn solve<S: Scalar>(
             iters += 1;
             let rel: Vec<f64> = res.iter().zip(&bnorms).map(|(r, b)| r / b).collect();
             tracer.iteration(cycle, iters - 1, rel, orth_name, arn.breakdown_rank(first));
+            if arn.last_orth_passes() > 1 || arn.last_orth_refreshed() {
+                // The fused path's amp² budget forced a second pass (or a
+                // rank-revealing refresh): surface the running loss estimate.
+                tracer.diag(
+                    cycle,
+                    iters - 1,
+                    kryst_obs::DiagKind::OrthLoss,
+                    arn.fused_loss(),
+                    arn.last_orth_passes(),
+                );
+            }
             first = false;
             if !any_above(&res, &bnorms, opts.rtol) {
                 // Least-squares estimates say done — leave the cycle and

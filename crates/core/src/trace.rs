@@ -25,8 +25,12 @@
 //! check beyond the history push the solvers always did.
 
 use crate::opts::SolveOpts;
-use kryst_obs::{Event, IterationEvent, Recorder, SolveEndEvent, SpanEvent, SpanKind};
+use kryst_obs::{
+    DiagEvent, DiagKind, Event, IterationEvent, Recorder, SolveEndEvent, SpanEvent, SpanKind,
+    StagnationDetector,
+};
 use kryst_par::{CommInterval, CommSnapshot};
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -46,6 +50,13 @@ pub struct SolveTracer {
     t0: Instant,
     t_last: Instant,
     pending: Option<IterationEvent>,
+    /// Diagnostics raised since the last flushed iteration event. They are
+    /// flushed *after* the iteration they belong to, in one
+    /// [`Recorder::record_batch`] call, so the recorder lock is taken once
+    /// per solver step. `RefCell` because diagnostic sites (e.g. GCRO-DR's
+    /// recycle refresh) only hold `&SolveTracer`.
+    pending_diags: RefCell<Vec<DiagEvent>>,
+    stagnation: StagnationDetector,
     history: Vec<Vec<f64>>,
 }
 
@@ -82,6 +93,8 @@ impl SolveTracer {
             t0: now,
             t_last: now,
             pending: None,
+            pending_diags: RefCell::new(Vec::new()),
+            stagnation: StagnationDetector::default_solver(),
             history: Vec::new(),
         }
     }
@@ -119,10 +132,56 @@ impl SolveTracer {
                 wall_ns,
             };
             if let Some(prev) = self.pending.replace(ev) {
-                rec.record(&Event::Iteration(prev));
+                let mut batch = vec![Event::Iteration(prev)];
+                batch.extend(self.pending_diags.borrow_mut().drain(..).map(Event::Diag));
+                rec.record_batch(&batch);
+            }
+            // Auto-diagnostics for *this* iteration — queued after the
+            // flush above so they ride behind their own iteration event.
+            if let Some(rank) = breakdown_rank {
+                self.pending_diags.borrow_mut().push(DiagEvent {
+                    solver: self.solver,
+                    system_index: self.system_index,
+                    cycle,
+                    iter,
+                    kind: DiagKind::RankCollapse,
+                    value: rank as f64,
+                    detail: residuals.len(),
+                });
+            }
+            let worst = residuals.iter().copied().fold(f64::NAN, f64::max);
+            if let Some(ratio) = self.stagnation.push(worst) {
+                self.pending_diags.borrow_mut().push(DiagEvent {
+                    solver: self.solver,
+                    system_index: self.system_index,
+                    cycle,
+                    iter,
+                    kind: DiagKind::Stagnation,
+                    value: ratio,
+                    detail: self.stagnation.window(),
+                });
             }
         }
         self.history.push(residuals);
+    }
+
+    /// Queue a convergence diagnostic for the iteration identified by
+    /// `(cycle, iter)`. Diagnostics are flushed in the same
+    /// [`Recorder::record_batch`] as the iteration event they follow (or
+    /// with the final batch at [`SolveTracer::finish`]). No-op when not
+    /// recording.
+    pub fn diag(&self, cycle: usize, iter: usize, kind: DiagKind, value: f64, detail: usize) {
+        if self.rec.is_some() {
+            self.pending_diags.borrow_mut().push(DiagEvent {
+                solver: self.solver,
+                system_index: self.system_index,
+                cycle,
+                iter,
+                kind,
+                value,
+                detail,
+            });
+        }
     }
 
     /// Begin a span. Cheap when not recording.
@@ -164,13 +223,15 @@ impl SolveTracer {
         if let Some(r) = self.rec.take() {
             let tail = self.interval.take().to_delta();
             let now = Instant::now();
+            let mut batch = Vec::new();
             if let Some(mut last) = self.pending.take() {
                 last.comm += tail;
                 last.wall_ns += now.duration_since(self.t_last).as_nanos() as u64;
-                r.record(&Event::Iteration(last));
+                batch.push(Event::Iteration(last));
             }
+            batch.extend(self.pending_diags.borrow_mut().drain(..).map(Event::Diag));
             let comm_total = self.interval.now().since(&self.base).to_delta();
-            r.record(&Event::SolveEnd(SolveEndEvent {
+            batch.push(Event::SolveEnd(SolveEndEvent {
                 solver: self.solver,
                 system_index: self.system_index,
                 iterations: self.history.len(),
@@ -179,6 +240,7 @@ impl SolveTracer {
                 comm_total,
                 wall_ns: now.duration_since(self.t0).as_nanos() as u64,
             }));
+            r.record_batch(&batch);
         }
         self.history
     }
@@ -236,6 +298,55 @@ mod tests {
             .expect("solve end emitted");
         assert_eq!(end.comm_total, cumulative_comm(&events));
         assert_eq!(end.iterations, 2);
+    }
+
+    #[test]
+    fn diags_flush_after_their_iteration_and_auto_detectors_fire() {
+        let stats = CommStats::new_shared();
+        let ring = Arc::new(RingRecorder::new(4096));
+        let opts = SolveOpts {
+            stats: Some(Arc::clone(&stats)),
+            recorder: Some(ring.clone() as Arc<dyn Recorder>),
+            ..SolveOpts::default()
+        };
+        let mut tr = SolveTracer::begin(&opts, "test", 0, 100, 2);
+        tr.iteration(0, 0, vec![1.0, 1.0], "cholqr", None);
+        tr.diag(0, 0, DiagKind::OrthLoss, 1e-12, 2);
+        tr.iteration(0, 1, vec![0.9, 0.9], "cholqr", Some(1));
+        // Flat residuals past the detector window must raise Stagnation.
+        for i in 2..70 {
+            tr.iteration(0, i, vec![0.9, 0.9], "cholqr", None);
+        }
+        let _ = tr.finish(false, &[0.9, 0.9]);
+        let events = ring.events();
+
+        let orth = kryst_obs::diags_of(&events, DiagKind::OrthLoss);
+        assert_eq!(orth.len(), 1);
+        assert_eq!((orth[0].cycle, orth[0].iter), (0, 0));
+        // The manual diag for iteration 0 appears after Iteration(0).
+        let pos_iter0 = events
+            .iter()
+            .position(|e| matches!(e, Event::Iteration(it) if it.iter == 0))
+            .unwrap();
+        let pos_diag = events
+            .iter()
+            .position(|e| matches!(e, Event::Diag(d) if d.kind == DiagKind::OrthLoss))
+            .unwrap();
+        let pos_iter1 = events
+            .iter()
+            .position(|e| matches!(e, Event::Iteration(it) if it.iter == 1))
+            .unwrap();
+        assert!(pos_iter0 < pos_diag && pos_diag < pos_iter1);
+
+        let rank = kryst_obs::diags_of(&events, DiagKind::RankCollapse);
+        assert_eq!(rank.len(), 1);
+        assert_eq!(rank[0].value, 1.0);
+        assert_eq!(rank[0].detail, 2);
+
+        let stag = kryst_obs::diags_of(&events, DiagKind::Stagnation);
+        assert_eq!(stag.len(), 1, "latched: exactly one firing");
+        assert!(stag[0].value > 0.99);
+        assert_eq!(stag[0].detail, 30);
     }
 
     #[test]

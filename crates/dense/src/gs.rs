@@ -73,6 +73,7 @@ pub fn orthogonalize_block<S: Scalar>(
     w: &mut DMat<S>,
     scheme: OrthScheme,
 ) -> BlockOrth<S> {
+    let _t = kryst_obs::profile(kryst_obs::Phase::OrthGram);
     assert!(ncols <= v.ncols());
     assert_eq!(v.nrows(), w.nrows());
     let p = w.ncols();
@@ -249,6 +250,7 @@ pub fn fused_orthogonalize_block<S: Scalar>(
     reorth: bool,
     loss: f64,
 ) -> FusedOrth<S> {
+    let _t = kryst_obs::profile(kryst_obs::Phase::OrthGram);
     assert!(ncols <= v.ncols());
     assert_eq!(v.nrows(), w.nrows());
     let p = w.ncols();

@@ -161,6 +161,59 @@ pub struct HaloEvent {
     pub wall_ns: u64,
 }
 
+/// What a [`DiagEvent`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagKind {
+    /// Accumulated orthogonality loss on the fused path exceeded the
+    /// single-pass budget (`value` = the running amp² loss estimate,
+    /// `detail` = fused passes taken this step).
+    OrthLoss,
+    /// The rank-revealing orthogonalization detected a deficient block
+    /// (`value` = detected rank, `detail` = block width).
+    RankCollapse,
+    /// Recycle-space quality after a GCRO-DR eigensolve (`value` =
+    /// smallest harmonic-Ritz magnitude kept, `detail` = vectors kept).
+    RitzQuality,
+    /// The residual history stalled (`value` = decay ratio over the
+    /// detector window, `detail` = window length in iterations).
+    Stagnation,
+}
+
+impl DiagKind {
+    /// Stable lowercase name used in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagKind::OrthLoss => "orth-loss",
+            DiagKind::RankCollapse => "rank-collapse",
+            DiagKind::RitzQuality => "ritz-quality",
+            DiagKind::Stagnation => "stagnation",
+        }
+    }
+}
+
+/// A convergence-health diagnostic raised mid-solve.
+///
+/// Diagnostics are advisory: they never change solver behavior, only
+/// surface numerics that the adaptive machinery (re-orthogonalization,
+/// breakdown fixup, recycle refresh) is reacting to.
+#[derive(Debug, Clone)]
+pub struct DiagEvent {
+    /// Solver family (see [`IterationEvent::solver`]).
+    pub solver: &'static str,
+    /// Position in the system sequence.
+    pub system_index: usize,
+    /// Restart-cycle index the diagnostic belongs to.
+    pub cycle: usize,
+    /// Global (block) iteration index the diagnostic belongs to.
+    pub iter: usize,
+    /// What was detected.
+    pub kind: DiagKind,
+    /// Kind-specific magnitude (see [`DiagKind`]).
+    pub value: f64,
+    /// Kind-specific integer detail (see [`DiagKind`]).
+    pub detail: usize,
+}
+
 /// Terminal event of a solve.
 #[derive(Debug, Clone)]
 pub struct SolveEndEvent {
@@ -207,6 +260,8 @@ pub enum Event {
     PrecondApply(PrecondApplyEvent),
     /// A halo exchange.
     Halo(HaloEvent),
+    /// A convergence-health diagnostic.
+    Diag(DiagEvent),
     /// A solve finished.
     SolveEnd(SolveEndEvent),
 }
@@ -253,5 +308,13 @@ mod tests {
         assert_eq!(SpanKind::Setup.name(), "setup");
         assert_eq!(SpanKind::RecycleRefresh.name(), "recycle-refresh");
         assert_eq!(SpanKind::Eigensolve.name(), "eigensolve");
+    }
+
+    #[test]
+    fn diag_kind_names_are_stable() {
+        assert_eq!(DiagKind::OrthLoss.name(), "orth-loss");
+        assert_eq!(DiagKind::RankCollapse.name(), "rank-collapse");
+        assert_eq!(DiagKind::RitzQuality.name(), "ritz-quality");
+        assert_eq!(DiagKind::Stagnation.name(), "stagnation");
     }
 }

@@ -74,6 +74,20 @@ pub fn event_to_json(ev: &Event) -> String {
                 h.messages, h.bytes, h.cols, h.wall_ns
             );
         }
+        Event::Diag(d) => {
+            let _ = write!(
+                s,
+                "{{\"type\":\"diag\",\"solver\":\"{}\",\"system_index\":{},\"cycle\":{},\"iter\":{},\
+                 \"kind\":\"{}\",\"value\":{},\"detail\":{}}}",
+                d.solver,
+                d.system_index,
+                d.cycle,
+                d.iter,
+                d.kind.name(),
+                fmt_f64(d.value),
+                d.detail
+            );
+        }
         Event::SolveEnd(e) => {
             let _ = write!(
                 s,
@@ -464,6 +478,27 @@ mod tests {
         assert_eq!(v.get("type").unwrap().as_str(), Some("solve_end"));
         assert_eq!(v.get("converged").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("reductions_total").unwrap().as_usize(), Some(100));
+    }
+
+    #[test]
+    fn diag_event_round_trips() {
+        use crate::event::{DiagEvent, DiagKind};
+        let ev = Event::Diag(DiagEvent {
+            solver: "gcrodr",
+            system_index: 3,
+            cycle: 2,
+            iter: 17,
+            kind: DiagKind::RitzQuality,
+            value: 2.5e-4,
+            detail: 10,
+        });
+        let v = JsonValue::parse(&event_to_json(&ev)).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("diag"));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("ritz-quality"));
+        assert_eq!(v.get("cycle").unwrap().as_usize(), Some(2));
+        assert_eq!(v.get("iter").unwrap().as_usize(), Some(17));
+        assert_eq!(v.get("value").unwrap().as_f64(), Some(2.5e-4));
+        assert_eq!(v.get("detail").unwrap().as_usize(), Some(10));
     }
 
     #[test]

@@ -27,15 +27,35 @@
 //! [`CommDelta`] — deltas are *measured* between consecutive events, and
 //! the trailing work after the last iteration is folded into that last
 //! event by the emitting solver.
+//!
+//! On top of the event stream sit three observability subsystems:
+//!
+//! * [`profiler`] — a phase-attributed wall-clock profiler ([`Phase`],
+//!   [`Profiler`], the [`profile`] guard) answering *where local time
+//!   goes* with per-phase count/total/min/max and log-bucketed latency
+//!   histograms; near-free when disabled, so it can stay wired into every
+//!   kernel;
+//! * [`metrics`] — a named counter/gauge/histogram registry with JSON
+//!   snapshots and plain-text exposition, the aggregation point for
+//!   per-rank communication imbalance and report glue;
+//! * [`diag`] — convergence diagnostics: [`event::DiagEvent`]s for
+//!   orthogonality loss, rank collapse, and Ritz quality, plus the
+//!   [`StagnationDetector`] over the residual history.
 
+pub mod diag;
 pub mod event;
 pub mod json;
+pub mod metrics;
+pub mod profiler;
 pub mod recorder;
 pub mod view;
 
+pub use diag::StagnationDetector;
 pub use event::{
-    CommDelta, Event, HaloEvent, IterationEvent, PrecondApplyEvent, SolveEndEvent, SpanEvent,
-    SpanKind,
+    CommDelta, DiagEvent, DiagKind, Event, HaloEvent, IterationEvent, PrecondApplyEvent,
+    SolveEndEvent, SpanEvent, SpanKind,
 };
-pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder};
-pub use view::{cumulative_comm, history, iteration_events, spans_of};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use profiler::{profile, Phase, PhaseStats, PhaseTimer, ProfileSnapshot, Profiler};
+pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder, TeeRecorder};
+pub use view::{cumulative_comm, diags_of, history, iteration_events, spans_of};

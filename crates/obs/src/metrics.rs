@@ -1,0 +1,391 @@
+//! Named metrics registry: counters, gauges, and histograms.
+//!
+//! The registry is the glue between raw instrumentation (comm counters in
+//! `kryst-par`, the phase profiler) and reports: producers register named
+//! metrics once and update them through cheap atomic handles; consumers
+//! take a JSON snapshot ([`MetricsRegistry::snapshot_json`]) or a
+//! plain-text exposition dump ([`MetricsRegistry::expose_text`]) in the
+//! style of `node_exporter`.
+//!
+//! ```
+//! use kryst_obs::metrics::MetricsRegistry;
+//! let reg = MetricsRegistry::new();
+//! reg.counter("solve_iterations").add(144);
+//! reg.gauge("imbalance_p2p_bytes_max").set(1.25);
+//! reg.histogram("reduction_elems").observe(930.0);
+//! assert!(reg.expose_text().contains("solve_iterations 144"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::fmt_f64;
+
+/// Number of log2 buckets a [`Histogram`] keeps.
+pub const HIST_BUCKETS: usize = 32;
+
+struct HistCore {
+    count: AtomicU64,
+    /// Sum as f64 bit-pattern, updated by CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistCore {
+    fn new() -> HistCore {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const Z: AtomicU64 = AtomicU64::new(0);
+        HistCore {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: [Z; HIST_BUCKETS],
+        }
+    }
+
+    fn observe(&self, x: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.min_bits.load(Ordering::Relaxed);
+        while x < f64::from_bits(cur) {
+            match self.min_bits.compare_exchange_weak(
+                cur,
+                x.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while x > f64::from_bits(cur) {
+            match self.max_bits.compare_exchange_weak(
+                cur,
+                x.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        // Bucket by ilog2 of the (clamped-positive) value.
+        let b = if x >= 1.0 {
+            (x.log2() as usize).min(HIST_BUCKETS - 1)
+        } else {
+            0
+        };
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Hist(Arc<HistCore>),
+}
+
+/// Handle to a monotonically increasing integer metric.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a settable floating-point metric.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge to `x`.
+    pub fn set(&self, x: f64) {
+        self.0.store(x.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to a log2-bucketed sample distribution.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&self, x: f64) {
+        self.0.observe(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Thread-safe name → metric map. Handles are get-or-create: two callers
+/// asking for the same name share the same underlying cell.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The process-global registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.inner.lock().unwrap();
+        let metric = m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+        match metric {
+            Metric::Counter(c) => Counter(c.clone()),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.inner.lock().unwrap();
+        let metric = m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))));
+        match metric {
+            Metric::Gauge(g) => Gauge(g.clone()),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.inner.lock().unwrap();
+        let metric = m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Hist(Arc::new(HistCore::new())));
+        match metric {
+            Metric::Hist(h) => Histogram(h.clone()),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Remove every registered metric.
+    pub fn reset(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// Serialize every metric into one JSON object keyed by name.
+    /// Counters become integers, gauges become floats, histograms become
+    /// `{"count":...,"sum":...,"min":...,"max":...,"buckets":[...]}`.
+    pub fn snapshot_json(&self) -> String {
+        let m = self.inner.lock().unwrap();
+        let mut s = String::from("{");
+        for (i, (name, metric)) in m.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{name}\":"));
+            match metric {
+                Metric::Counter(c) => s.push_str(&c.load(Ordering::Relaxed).to_string()),
+                Metric::Gauge(g) => s.push_str(&fmt_f64(f64::from_bits(g.load(Ordering::Relaxed)))),
+                Metric::Hist(h) => {
+                    let count = h.count.load(Ordering::Relaxed);
+                    let min = f64::from_bits(h.min_bits.load(Ordering::Relaxed));
+                    let max = f64::from_bits(h.max_bits.load(Ordering::Relaxed));
+                    s.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                        count,
+                        fmt_f64(f64::from_bits(h.sum_bits.load(Ordering::Relaxed))),
+                        fmt_f64(if count == 0 { 0.0 } else { min }),
+                        fmt_f64(if count == 0 { 0.0 } else { max }),
+                    ));
+                    let buckets: Vec<u64> = h
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    let last = buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+                    for (j, c) in buckets[..last].iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&c.to_string());
+                    }
+                    s.push_str("]}");
+                }
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Plain-text exposition: one `name value` line per metric, sorted by
+    /// name; histograms expand to `_count`/`_sum`/`_min`/`_max` lines.
+    pub fn expose_text(&self) -> String {
+        let m = self.inner.lock().unwrap();
+        let mut s = String::new();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    s.push_str(&format!("{name} {}\n", c.load(Ordering::Relaxed)));
+                }
+                Metric::Gauge(g) => {
+                    s.push_str(&format!(
+                        "{name} {}\n",
+                        fmt_f64(f64::from_bits(g.load(Ordering::Relaxed)))
+                    ));
+                }
+                Metric::Hist(h) => {
+                    let count = h.count.load(Ordering::Relaxed);
+                    s.push_str(&format!("{name}_count {count}\n"));
+                    s.push_str(&format!(
+                        "{name}_sum {}\n",
+                        fmt_f64(f64::from_bits(h.sum_bits.load(Ordering::Relaxed)))
+                    ));
+                    if count > 0 {
+                        s.push_str(&format!(
+                            "{name}_min {}\n",
+                            fmt_f64(f64::from_bits(h.min_bits.load(Ordering::Relaxed)))
+                        ));
+                        s.push_str(&format!(
+                            "{name}_max {}\n",
+                            fmt_f64(f64::from_bits(h.max_bits.load(Ordering::Relaxed)))
+                        ));
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn counter_gauge_histogram_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("iters");
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        // Same name returns the same cell.
+        assert_eq!(reg.counter("iters").get(), 10);
+
+        let g = reg.gauge("imbalance");
+        g.set(1.5);
+        assert_eq!(g.get(), 1.5);
+
+        let h = reg.histogram("lat");
+        h.observe(2.0);
+        h.observe(6.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_json_parses_back() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_count").add(3);
+        reg.gauge("b_gauge").set(0.25);
+        let h = reg.histogram("c_hist");
+        h.observe(1.0);
+        h.observe(1024.0);
+        let v = JsonValue::parse(&reg.snapshot_json()).unwrap();
+        assert_eq!(v.get("a_count").unwrap().as_usize(), Some(3));
+        assert_eq!(v.get("b_gauge").unwrap().as_f64(), Some(0.25));
+        let hist = v.get("c_hist").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_usize(), Some(2));
+        assert_eq!(hist.get("sum").unwrap().as_f64(), Some(1025.0));
+        assert_eq!(hist.get("min").unwrap().as_f64(), Some(1.0));
+        assert_eq!(hist.get("max").unwrap().as_f64(), Some(1024.0));
+        let buckets = hist.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets[0].as_usize(), Some(1)); // 1.0 -> bucket 0
+        assert_eq!(buckets[10].as_usize(), Some(1)); // 1024 -> bucket 10
+    }
+
+    #[test]
+    fn expose_text_is_sorted_lines() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_last").add(1);
+        reg.counter("a_first").add(2);
+        let text = reg.expose_text();
+        let a = text.find("a_first 2").unwrap();
+        let z = text.find("z_last 1").unwrap();
+        assert!(a < z);
+    }
+
+    #[test]
+    fn reset_clears_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("gone").add(5);
+        reg.reset();
+        assert_eq!(reg.counter("gone").get(), 0);
+    }
+}

@@ -5,7 +5,8 @@ use crate::json::event_to_json;
 use std::collections::VecDeque;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// An event sink. Implementations must be cheap to call and thread-safe —
 /// solvers may emit from worker threads (pseudo-block drivers).
@@ -20,6 +21,15 @@ pub trait Recorder: Send + Sync {
 
     /// Record one event.
     fn record(&self, ev: &Event);
+
+    /// Record a batch of events from one solver step. Sinks with internal
+    /// locking should override this to take their lock once per batch
+    /// instead of once per event.
+    fn record_batch(&self, evs: &[Event]) {
+        for ev in evs {
+            self.record(ev);
+        }
+    }
 }
 
 /// Discards everything; `enabled()` is `false` so emitters skip event
@@ -35,11 +45,12 @@ impl Recorder for NullRecorder {
     fn record(&self, _ev: &Event) {}
 }
 
-/// Bounded in-memory buffer (oldest events dropped past capacity) — the
-/// test-suite sink.
+/// Bounded in-memory buffer (oldest events dropped past capacity, with a
+/// counter instead of silent eviction) — the test-suite sink.
 pub struct RingRecorder {
     buf: Mutex<VecDeque<Event>>,
     cap: usize,
+    dropped: AtomicU64,
 }
 
 impl RingRecorder {
@@ -48,6 +59,7 @@ impl RingRecorder {
         Self {
             buf: Mutex::new(VecDeque::with_capacity(cap.min(4096))),
             cap: cap.max(1),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -66,19 +78,40 @@ impl RingRecorder {
         self.len() == 0
     }
 
-    /// Drop all buffered events.
+    /// Number of events evicted because the ring overflowed. A non-zero
+    /// value means [`RingRecorder::events`] is missing the oldest part of
+    /// the stream — size the ring up or switch to a streaming sink.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drop all buffered events and reset the overflow counter.
     pub fn clear(&self) {
         self.buf.lock().unwrap().clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    fn push_locked(&self, b: &mut VecDeque<Event>, ev: &Event) {
+        if b.len() == self.cap {
+            b.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        b.push_back(ev.clone());
     }
 }
 
 impl Recorder for RingRecorder {
     fn record(&self, ev: &Event) {
         let mut b = self.buf.lock().unwrap();
-        if b.len() == self.cap {
-            b.pop_front();
+        self.push_locked(&mut b, ev);
+    }
+
+    fn record_batch(&self, evs: &[Event]) {
+        // One lock acquisition per solver step instead of one per event.
+        let mut b = self.buf.lock().unwrap();
+        for ev in evs {
+            self.push_locked(&mut b, ev);
         }
-        b.push_back(ev.clone());
     }
 }
 
@@ -109,12 +142,63 @@ impl Recorder for JsonlRecorder {
         let _ = w.write_all(line.as_bytes());
         let _ = w.write_all(b"\n");
     }
+
+    fn record_batch(&self, evs: &[Event]) {
+        // Serialize outside the lock, then write all lines under one
+        // acquisition.
+        let mut chunk = String::new();
+        for ev in evs {
+            chunk.push_str(&event_to_json(ev));
+            chunk.push('\n');
+        }
+        let mut w = self.w.lock().unwrap();
+        let _ = w.write_all(chunk.as_bytes());
+    }
 }
 
 impl Drop for JsonlRecorder {
     fn drop(&mut self) {
+        // A missed final flush() must not truncate the tail of a trace.
         if let Ok(mut w) = self.w.lock() {
             let _ = w.flush();
+        }
+    }
+}
+
+/// Fans every event out to two recorders, so one run can feed both an
+/// in-memory view (assertions, metrics extraction) and a streaming trace.
+pub struct TeeRecorder {
+    a: Arc<dyn Recorder>,
+    b: Arc<dyn Recorder>,
+}
+
+impl TeeRecorder {
+    /// Tee to `a` and `b`.
+    pub fn new(a: Arc<dyn Recorder>, b: Arc<dyn Recorder>) -> Self {
+        Self { a, b }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn record(&self, ev: &Event) {
+        if self.a.enabled() {
+            self.a.record(ev);
+        }
+        if self.b.enabled() {
+            self.b.record(ev);
+        }
+    }
+
+    fn record_batch(&self, evs: &[Event]) {
+        if self.a.enabled() {
+            self.a.record_batch(evs);
+        }
+        if self.b.enabled() {
+            self.b.record_batch(evs);
         }
     }
 }
@@ -152,6 +236,77 @@ mod tests {
         }
         r.clear();
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ring_counts_overflow_drops() {
+        let r = RingRecorder::new(3);
+        for i in 0..5 {
+            r.record(&iter_ev(i));
+        }
+        assert_eq!(r.dropped(), 2);
+        r.clear();
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_batch_matches_per_event_recording() {
+        let batch: Vec<Event> = (0..5).map(iter_ev).collect();
+        let one = RingRecorder::new(3);
+        for ev in &batch {
+            one.record(ev);
+        }
+        let many = RingRecorder::new(3);
+        many.record_batch(&batch);
+        assert_eq!(many.dropped(), one.dropped());
+        let (a, b) = (one.events(), many.events());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            match (x, y) {
+                (Event::Iteration(ix), Event::Iteration(iy)) => assert_eq!(ix.iter, iy.iter),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tee_fans_out_and_skips_disabled_children() {
+        let a = std::sync::Arc::new(RingRecorder::new(16));
+        let b = std::sync::Arc::new(RingRecorder::new(16));
+        let tee = TeeRecorder::new(a.clone(), b.clone());
+        assert!(Recorder::enabled(&tee));
+        tee.record(&iter_ev(0));
+        tee.record_batch(&[iter_ev(1), iter_ev(2)]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 3);
+
+        let null = std::sync::Arc::new(NullRecorder);
+        let c = std::sync::Arc::new(RingRecorder::new(16));
+        let half = TeeRecorder::new(null, c.clone());
+        assert!(Recorder::enabled(&half)); // one live child keeps it on
+        half.record(&iter_ev(0));
+        assert_eq!(c.len(), 1);
+
+        let dead = TeeRecorder::new(
+            std::sync::Arc::new(NullRecorder),
+            std::sync::Arc::new(NullRecorder),
+        );
+        assert!(!Recorder::enabled(&dead));
+    }
+
+    #[test]
+    fn jsonl_batch_and_drop_flush() {
+        let dir = std::env::temp_dir().join("kryst_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace_batch_{}.jsonl", std::process::id()));
+        {
+            let r = JsonlRecorder::create(&path).unwrap();
+            r.record_batch(&[iter_ev(0), iter_ev(1), iter_ev(2)]);
+            // No explicit flush: Drop must persist everything.
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 3);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

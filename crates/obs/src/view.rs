@@ -4,7 +4,7 @@
 //! iteration events — the same data the conformance tests assert on, so
 //! history and accounting can never drift apart.
 
-use crate::event::{CommDelta, Event, IterationEvent, SpanEvent, SpanKind};
+use crate::event::{CommDelta, DiagEvent, DiagKind, Event, IterationEvent, SpanEvent, SpanKind};
 
 /// The iteration events of a stream, in order.
 pub fn iteration_events(events: &[Event]) -> Vec<&IterationEvent> {
@@ -40,6 +40,17 @@ pub fn spans_of(events: &[Event], kind: SpanKind) -> Vec<&SpanEvent> {
         .iter()
         .filter_map(|e| match e {
             Event::Span(sp) if sp.kind == kind => Some(sp),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The diagnostics of a given kind, in order.
+pub fn diags_of(events: &[Event], kind: DiagKind) -> Vec<&DiagEvent> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Diag(d) if d.kind == kind => Some(d),
             _ => None,
         })
         .collect()
@@ -97,5 +108,33 @@ mod tests {
         assert_eq!(cumulative_comm(&evs).reductions, 10);
         assert_eq!(spans_of(&evs, SpanKind::Restart).len(), 1);
         assert!(spans_of(&evs, SpanKind::Eigensolve).is_empty());
+    }
+
+    #[test]
+    fn diags_view_filters_by_kind() {
+        let mk = |kind, iter| {
+            Event::Diag(DiagEvent {
+                solver: "gmres",
+                system_index: 0,
+                cycle: 0,
+                iter,
+                kind,
+                value: 1.0,
+                detail: 0,
+            })
+        };
+        let evs = vec![
+            mk(DiagKind::OrthLoss, 1),
+            it(1, 0, 0.5),
+            mk(DiagKind::Stagnation, 2),
+            mk(DiagKind::OrthLoss, 3),
+        ];
+        let orth = diags_of(&evs, DiagKind::OrthLoss);
+        assert_eq!(orth.len(), 2);
+        assert_eq!(orth[1].iter, 3);
+        assert_eq!(diags_of(&evs, DiagKind::Stagnation).len(), 1);
+        assert!(diags_of(&evs, DiagKind::RankCollapse).is_empty());
+        // Diag events never contribute comm.
+        assert_eq!(cumulative_comm(&evs).reductions, 0);
     }
 }

@@ -28,6 +28,7 @@ pub mod cost;
 pub mod halo;
 pub mod layout;
 pub mod op;
+pub mod report;
 pub mod spmd;
 
 pub use comm::{CommInterval, CommSnapshot, CommStats};
@@ -35,4 +36,8 @@ pub use cost::{CostModel, ModeledTime};
 pub use halo::HaloPlan;
 pub use layout::Layout;
 pub use op::{DistOp, IdentityPrecond, LinOp, PrecondOp, ProjectedOp};
+pub use report::{
+    comm_from_json, comm_to_json, per_rank_comm, phase_report, publish_imbalance, ModeledRow,
+    PhaseReport, PhaseRow,
+};
 pub use spmd::reduce_stages;

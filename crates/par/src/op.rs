@@ -8,7 +8,7 @@
 use crate::halo::HaloPlan;
 use crate::{CommStats, Layout};
 use kryst_dense::DMat;
-use kryst_obs::{Event, HaloEvent, Recorder};
+use kryst_obs::{profile, Event, HaloEvent, Phase, Recorder};
 use kryst_scalar::Scalar;
 use kryst_sparse::{Csr, RowSplit};
 use std::sync::Arc;
@@ -53,6 +53,7 @@ impl<S: Scalar> LinOp<S> for Csr<S> {
         Csr::nrows(self)
     }
     fn apply(&self, x: &DMat<S>, y: &mut DMat<S>) {
+        let _t = profile(Phase::Spmv);
         self.spmm(x, y);
     }
 }
@@ -179,13 +180,20 @@ impl<S: Scalar> LinOp<S> for DistOp<S> {
         if self.split.all_interior() {
             self.stats
                 .record_p2p(self.plan.messages_per_exchange, bytes);
+            let _t = profile(Phase::Spmv);
             self.a.spmm(x, y);
         } else {
             // Overlapped schedule: interior rows proceed while the halo
-            // exchange is in flight, boundary rows finish afterwards.
-            self.a.spmm_rows(x, y, &self.split.interior);
+            // exchange is in flight, boundary rows finish afterwards. The
+            // interior product is attributed to `spmv`; the exchange
+            // accounting plus the post-exchange boundary rows to `halo`.
+            {
+                let _t = profile(Phase::Spmv);
+                self.a.spmm_rows(x, y, &self.split.interior);
+            }
             self.stats
                 .record_overlap_flops(2 * self.split.interior_nnz * p * flop_scale);
+            let _h = profile(Phase::Halo);
             self.stats
                 .record_p2p(self.plan.messages_per_exchange, bytes);
             self.a.spmm_rows(x, y, &self.split.boundary);
@@ -221,7 +229,10 @@ impl<S: Scalar> LinOp<S> for ProjectedOp<'_, S> {
     fn apply(&self, x: &DMat<S>, y: &mut DMat<S>) {
         self.inner.apply(x, y);
         // y ⟵ y − C·(Cᴴ·y): one fused reduction for the Gram product.
-        let coeff = kryst_dense::blas::adjoint_times(self.c, y);
+        let coeff = {
+            let _t = profile(Phase::Reduction);
+            kryst_dense::blas::adjoint_times(self.c, y)
+        };
         if let Some(st) = self.stats {
             st.record_reduction(std::mem::size_of_val(coeff.as_slice()));
         }

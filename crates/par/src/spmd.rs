@@ -81,6 +81,7 @@ impl RankCtx {
     /// `2·⌈log₂ P⌉` stages of a reduce-then-broadcast binomial tree, the
     /// butterfly halves the critical path, and every rank ends with the sum.
     pub fn all_reduce_sum(&self, mut local: Vec<f64>) -> Vec<f64> {
+        let _t = kryst_obs::profile(kryst_obs::Phase::Reduction);
         let p = self.nranks;
         if p == 1 {
             return local;

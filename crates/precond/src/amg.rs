@@ -241,6 +241,7 @@ impl<S: Scalar> Amg<S> {
     /// the single-column cycle.
     fn vcycle_ws(&self, l: usize, b: &DMat<S>, x: &mut DMat<S>, ws: &mut PrecondWorkspace<S>) {
         if l + 1 == self.levels.len() {
+            let _t = kryst_obs::profile(kryst_obs::Phase::PrecondLevel(l));
             let f = match &self.coarse {
                 CoarseSolver::Direct(f) => f,
                 CoarseSolver::Regularized(f) => f,
@@ -251,6 +252,9 @@ impl<S: Scalar> Amg<S> {
             return;
         }
         let level = &self.levels[l];
+        // Time this level's own work exclusively: the timer is dropped
+        // around the recursive descent so nested levels don't double-count.
+        let down = kryst_obs::Profiler::global().timed(kryst_obs::Phase::PrecondLevel(l));
         // Pre-smooth.
         self.smooth_ws(l, b, x, ws);
         // Residual and restriction.
@@ -263,7 +267,9 @@ impl<S: Scalar> Amg<S> {
         let mut rc = ws.take(pt.nrows(), p);
         pt.spmm(&r, &mut rc);
         let mut xc = ws.take(pt.nrows(), p);
+        drop(down);
         self.vcycle_ws(l + 1, &rc, &mut xc, ws);
+        let _up = kryst_obs::profile(kryst_obs::Phase::PrecondLevel(l));
         // Prolongate (reusing the residual buffer) and correct.
         level.p.as_ref().unwrap().spmm(&xc, &mut r);
         x.axpy(S::one(), &r);
@@ -293,6 +299,7 @@ impl<S: Scalar> PrecondOp<S> for Amg<S> {
         self.n
     }
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
+        let _t = kryst_obs::profile(kryst_obs::Phase::Precond);
         // Only read the clock when a recorder is attached (`set_recorder`
         // drops disabled recorders): tracing off ⇒ no `Instant::now()`, no
         // event construction.

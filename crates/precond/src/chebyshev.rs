@@ -142,6 +142,7 @@ impl<S: Scalar> PrecondOp<S> for Chebyshev<S> {
         self.a.nrows()
     }
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
+        let _t = kryst_obs::profile(kryst_obs::Phase::Precond);
         z.set_zero();
         self.smooth(r, z);
     }

@@ -365,6 +365,7 @@ impl<S: Scalar> PrecondOp<S> for Ilu0<S> {
         self.factors.nrows()
     }
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
+        let _t = kryst_obs::profile(kryst_obs::Phase::Precond);
         z.copy_from(r);
         self.sweep(z, true);
         self.sweep(z, false);

@@ -221,6 +221,7 @@ impl<S: Scalar> PrecondOp<S> for Schwarz<S> {
     }
 
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
+        let _t = kryst_obs::profile(kryst_obs::Phase::Precond);
         let p = r.ncols();
         // Clock only when tracing is actually on.
         let rec = self.recorder.as_ref().filter(|rc| rc.enabled());
