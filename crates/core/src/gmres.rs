@@ -37,6 +37,12 @@ pub fn solve<S: Scalar>(
     };
     let mut tracer = SolveTracer::begin(opts, name, 0, a.nrows(), p);
     let orth_name = opts.orth.name();
+    if opts.side != PrecondSide::Flexible && pc.precision() == kryst_par::PrecondPrecision::Single {
+        // Plain GMRES assumes a fixed preconditioner; f32-storage applies
+        // perturb M⁻¹ at the level of single rounding. FGMRES stores Z_m
+        // and absorbs this — plain GMRES only gets a diagnostic.
+        tracer.diag(0, 0, kryst_obs::DiagKind::MixedPrecision, 0.0, 0);
+    }
 
     // Buffer pool shared by every restart cycle: the per-step n × p
     // temporaries are allocated once and reused for the whole solve.
@@ -351,5 +357,36 @@ mod tests {
         );
         // Each fused reduction carried at least the V-projection + Gram parts.
         assert!(fsnap.fused_parts >= 2 * (fres.iterations as u64 - 1));
+    }
+
+    #[test]
+    fn plain_gmres_warns_on_mixed_precision_precond_fgmres_does_not() {
+        use kryst_obs::{diags_of, DiagKind, Recorder, RingRecorder};
+        use kryst_par::PrecondPrecision;
+        use kryst_precond::Ilu0;
+        use std::sync::Arc;
+        let prob = poisson2d::<f64>(12, 12);
+        let n = prob.a.nrows();
+        let ilu = Ilu0::with_precision(&prob.a, PrecondPrecision::Single).expect("ILU(0) factors");
+        let b = DMat::from_fn(n, 1, |i, _| ((i % 7) as f64) - 3.0);
+        let run = |side: PrecondSide| {
+            let ring = Arc::new(RingRecorder::new(8192));
+            let opts = SolveOpts {
+                // Tight enough that even the left-preconditioned residual
+                // certifies a small true residual.
+                rtol: 1e-10,
+                side,
+                recorder: Some(ring.clone() as Arc<dyn Recorder>),
+                ..Default::default()
+            };
+            let mut x = DMat::zeros(n, 1);
+            let res = solve(&prob.a, &ilu, &b, &mut x, &opts);
+            assert!(res.converged, "{side:?}: {:?}", res.final_relres);
+            check_true_residual(&prob.a, &b, &x, 1e-7);
+            diags_of(&ring.events(), DiagKind::MixedPrecision).len()
+        };
+        assert_eq!(run(PrecondSide::Right), 1, "plain GMRES must warn once");
+        assert_eq!(run(PrecondSide::Left), 1, "left GMRES must warn once");
+        assert_eq!(run(PrecondSide::Flexible), 0, "FGMRES absorbs, no warning");
     }
 }

@@ -2,7 +2,7 @@
 
 use kryst_dense::gs::OrthScheme;
 use kryst_obs::Recorder;
-use kryst_par::CommStats;
+use kryst_par::{CommStats, PrecondPrecision};
 use std::sync::Arc;
 
 /// Which side the preconditioner enters on.
@@ -97,6 +97,14 @@ pub struct SolveOpts {
     /// (`-hpddm_recycle_same_system`): skip the recycle-space refresh work
     /// (Fig. 1 lines 3–7 and 31–38).
     pub same_system: bool,
+    /// Requested storage precision for preconditioner setup. Solvers do not
+    /// build preconditioners themselves, so this is a *carrier knob*: setup
+    /// code (drivers, benches, tests) reads it to pick `with_precision` on
+    /// ILU/AMG/Schwarz. Defaults from the `KRYST_PRECOND_F32` environment
+    /// variable (`1`/`true` → [`PrecondPrecision::Single`]). Independent of
+    /// it, solvers warn via the tracer whenever a non-flexible method is
+    /// paired with a preconditioner whose `precision()` reports `Single`.
+    pub precond_precision: PrecondPrecision,
     /// Optional communication counters (the §III-D accounting).
     pub stats: Option<Arc<CommStats>>,
     /// Optional event sink: every solver emits typed per-iteration events,
@@ -119,6 +127,7 @@ impl Default for SolveOpts {
             ortho: OrthPath::from_env(),
             recycle_strategy: RecycleStrategy::A,
             same_system: false,
+            precond_precision: PrecondPrecision::from_env(),
             stats: None,
             recorder: None,
         }

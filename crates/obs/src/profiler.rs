@@ -40,7 +40,7 @@ pub const HIST_BUCKETS: usize = 32;
 /// fold into the last per-level slot.
 pub const MAX_PRECOND_LEVELS: usize = 8;
 
-const NUM_SLOTS: usize = 7 + MAX_PRECOND_LEVELS;
+const NUM_SLOTS: usize = 9 + MAX_PRECOND_LEVELS;
 
 /// A solver phase the profiler attributes time to.
 ///
@@ -62,6 +62,12 @@ pub enum Phase {
     SmallDense,
     /// Recycle-space construction/refresh in GCRO-DR.
     RecycleSetup,
+    /// Matrix-free (stencil) operator applies — the zero-index-streaming
+    /// alternative to [`Phase::Spmv`].
+    SpmvMf,
+    /// Low-precision preconditioner sweeps (the f32-storage portion of an
+    /// apply; nested inside [`Phase::Precond`]).
+    PrecondLp,
     /// Per-level AMG cycle work (smoother + residual/transfer at level `l`).
     PrecondLevel(usize),
 }
@@ -76,7 +82,9 @@ impl Phase {
             Phase::Precond => 4,
             Phase::SmallDense => 5,
             Phase::RecycleSetup => 6,
-            Phase::PrecondLevel(l) => 7 + l.min(MAX_PRECOND_LEVELS - 1),
+            Phase::SpmvMf => 7,
+            Phase::PrecondLp => 8,
+            Phase::PrecondLevel(l) => 9 + l.min(MAX_PRECOND_LEVELS - 1),
         }
     }
 
@@ -89,7 +97,9 @@ impl Phase {
             4 => Phase::Precond,
             5 => Phase::SmallDense,
             6 => Phase::RecycleSetup,
-            l => Phase::PrecondLevel(l - 7),
+            7 => Phase::SpmvMf,
+            8 => Phase::PrecondLp,
+            l => Phase::PrecondLevel(l - 9),
         }
     }
 
@@ -103,6 +113,8 @@ impl Phase {
             Phase::Precond => "precond".to_string(),
             Phase::SmallDense => "small_dense".to_string(),
             Phase::RecycleSetup => "recycle_setup".to_string(),
+            Phase::SpmvMf => "spmv_mf".to_string(),
+            Phase::PrecondLp => "precond_lp".to_string(),
             Phase::PrecondLevel(l) => format!("precond/l{}", l.min(MAX_PRECOND_LEVELS - 1)),
         }
     }
@@ -442,6 +454,21 @@ mod tests {
             .phase(Phase::PrecondLevel(MAX_PRECOND_LEVELS - 1))
             .unwrap();
         assert_eq!(p.count, 1);
+    }
+
+    #[test]
+    fn mixed_precision_and_matrix_free_phases_have_own_slots() {
+        let prof = Profiler::new(true);
+        prof.record_ns(Phase::SpmvMf, 11);
+        prof.record_ns(Phase::PrecondLp, 22);
+        prof.record_ns(Phase::PrecondLevel(0), 33);
+        let snap = prof.snapshot();
+        assert_eq!(snap.phase(Phase::SpmvMf).unwrap().name, "spmv_mf");
+        assert_eq!(snap.phase(Phase::PrecondLp).unwrap().name, "precond_lp");
+        // The new named slots must not alias the per-level slots.
+        assert_eq!(snap.phase(Phase::PrecondLevel(0)).unwrap().total_ns, 33);
+        assert_eq!(snap.phase(Phase::SpmvMf).unwrap().total_ns, 11);
+        assert_eq!(snap.phase(Phase::PrecondLp).unwrap().total_ns, 22);
     }
 
     #[test]

@@ -88,19 +88,14 @@ pub struct ElasticityProblem<S: Scalar> {
 /// Gauss points `±1/√3` on the reference cube, all weights 1.
 const GP: f64 = 0.577_350_269_189_625_8;
 
-/// Assemble the Q1 elasticity operator.
-pub fn elasticity3d<S: Scalar>(opts: &ElasticityOpts) -> ElasticityProblem<S> {
-    let ne = opts.ne;
-    let nn = ne + 1;
-    let nnodes = nn * nn * nn;
-    let h = 1.0 / ne as f64;
-    let node = |x: usize, y: usize, z: usize| (z * nn + y) * nn + x;
+/// One 24×24 Q1 element matrix (8 nodes × 3 displacement components).
+pub(crate) type ElementMatrix = Box<[[f64; 24]; 24]>;
 
-    // Lamé parameters from (E, ν); E is rescaled per element for inclusions.
-    let nu = opts.poisson;
-    let lam_unit = nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
-    let mu_unit = 1.0 / (2.0 * (1.0 + nu));
-
+/// Unit-E Q1 element stiffness for edge length `h`, split into λ and μ parts
+/// (24×24 each) so each element only scales two precomputed matrices. Shared
+/// by the assembled operator and the matrix-free
+/// [`stencil`](crate::stencil::ElasticityStencil) applier.
+pub(crate) fn element_stiffness(h: f64) -> (ElementMatrix, ElementMatrix) {
     // Reference element: 8 nodes at (±1, ±1, ±1).
     let corners: [[f64; 3]; 8] = [
         [-1.0, -1.0, -1.0],
@@ -112,11 +107,8 @@ pub fn elasticity3d<S: Scalar>(opts: &ElasticityOpts) -> ElasticityProblem<S> {
         [-1.0, 1.0, 1.0],
         [1.0, 1.0, 1.0],
     ];
-
-    // Precompute unit-E element stiffness split into λ and μ parts so each
-    // element only scales two 24×24 matrices.
-    let mut k_lam = [[0.0f64; 24]; 24];
-    let mut k_mu = [[0.0f64; 24]; 24];
+    let mut k_lam = Box::new([[0.0f64; 24]; 24]);
+    let mut k_mu = Box::new([[0.0f64; 24]; 24]);
     let jac = h / 2.0;
     let detj = jac * jac * jac;
     for gx in [-GP, GP] {
@@ -149,6 +141,23 @@ pub fn elasticity3d<S: Scalar>(opts: &ElasticityOpts) -> ElasticityProblem<S> {
             }
         }
     }
+    (k_lam, k_mu)
+}
+
+/// Assemble the Q1 elasticity operator.
+pub fn elasticity3d<S: Scalar>(opts: &ElasticityOpts) -> ElasticityProblem<S> {
+    let ne = opts.ne;
+    let nn = ne + 1;
+    let nnodes = nn * nn * nn;
+    let h = 1.0 / ne as f64;
+    let node = |x: usize, y: usize, z: usize| (z * nn + y) * nn + x;
+
+    // Lamé parameters from (E, ν); E is rescaled per element for inclusions.
+    let nu = opts.poisson;
+    let lam_unit = nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
+    let mu_unit = 1.0 / (2.0 * (1.0 + nu));
+
+    let (k_lam, k_mu) = element_stiffness(h);
 
     let inside = |cx: f64, cy: f64, cz: f64| -> bool {
         if let Some(inc) = &opts.inclusion {

@@ -58,6 +58,61 @@ pub fn poisson2d<S: Scalar>(nx: usize, ny: usize) -> Problem<S> {
     }
 }
 
+/// Assemble the 7-point Laplacian on an `nx × ny × nz` interior grid of the
+/// unit cube (homogeneous Dirichlet). Node `(x, y, z)` is unknown
+/// `(z·ny + y)·nx + x`.
+pub fn poisson3d<S: Scalar>(nx: usize, ny: usize, nz: usize) -> Problem<S> {
+    let n = nx * ny * nz;
+    let hx = 1.0 / (nx as f64 + 1.0);
+    let hy = 1.0 / (ny as f64 + 1.0);
+    let hz = 1.0 / (nz as f64 + 1.0);
+    let cx = S::from_f64(1.0 / (hx * hx));
+    let cy = S::from_f64(1.0 / (hy * hy));
+    let cz = S::from_f64(1.0 / (hz * hz));
+    let cd = S::from_f64(2.0 / (hx * hx) + 2.0 / (hy * hy) + 2.0 / (hz * hz));
+    let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut coo = Coo::with_capacity(n, n, 7 * n);
+    let mut coords = Vec::with_capacity(n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let me = id(x, y, z);
+                coo.push(me, me, cd);
+                if x > 0 {
+                    coo.push(me, id(x - 1, y, z), -cx);
+                }
+                if x + 1 < nx {
+                    coo.push(me, id(x + 1, y, z), -cx);
+                }
+                if y > 0 {
+                    coo.push(me, id(x, y - 1, z), -cy);
+                }
+                if y + 1 < ny {
+                    coo.push(me, id(x, y + 1, z), -cy);
+                }
+                if z > 0 {
+                    coo.push(me, id(x, y, z - 1), -cz);
+                }
+                if z + 1 < nz {
+                    coo.push(me, id(x, y, z + 1), -cz);
+                }
+                coords.push(vec![
+                    (x as f64 + 1.0) * hx,
+                    (y as f64 + 1.0) * hy,
+                    (z as f64 + 1.0) * hz,
+                ]);
+            }
+        }
+    }
+    let a = coo.to_csr();
+    let ns = DMat::from_fn(n, 1, |_, _| S::one());
+    Problem {
+        a,
+        coords,
+        near_nullspace: Some(ns),
+    }
+}
+
 /// The paper's `i`-th right-hand side sampled on the grid.
 pub fn rhs_nu<S: Scalar>(nx: usize, ny: usize, nu: f64) -> Vec<S> {
     let hx = 1.0 / (nx as f64 + 1.0);

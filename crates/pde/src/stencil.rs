@@ -1,0 +1,512 @@
+//! Matrix-free stencil appliers — `A·X` straight from geometry.
+//!
+//! An assembled CSR apply streams 16 bytes per nonzero (8-byte value +
+//! 8-byte column index) plus the row pointers; for the constant-coefficient
+//! operators of the paper's experiments that index traffic is pure
+//! overhead. The appliers here recompute the coefficients from the grid
+//! instead: their persistent operator footprint is a handful of scalars
+//! (Poisson) or two 24×24 element matrices (elasticity), so an apply
+//! streams *only* the multivectors.
+//!
+//! Both implement [`ApplyRows`], the row-subset contract consumed by
+//! `DistOp`, so the interior/boundary halo-compute overlap schedule works
+//! unchanged — and [`LinOp`] directly, attributing time to the dedicated
+//! `spmv_mf` profiler phase.
+//!
+//! Accumulation order per row matches the ascending-column order of the
+//! assembled CSR for Poisson (bit-identical results); the elasticity
+//! applier accumulates element-by-element, which reorders floating-point
+//! sums and therefore agrees to rounding tolerance only.
+
+use crate::elasticity::{element_stiffness, ElasticityOpts, ElementMatrix, Inclusion};
+use kryst_dense::DMat;
+use kryst_par::{ApplyRows, LinOp};
+use kryst_rt::par::{for_each_range, SendPtr};
+use kryst_scalar::Scalar;
+
+/// Rows above which an apply fans out across the worker pool (same
+/// threshold as the assembled CSR kernels).
+const PAR_ROWS: usize = 4096;
+
+/// Matrix-free 5/7-point Laplacian on an interior Dirichlet grid; the
+/// operator is identical (bit-for-bit) to
+/// [`poisson2d`](crate::poisson::poisson2d) /
+/// [`poisson3d`](crate::poisson::poisson3d) with the same dimensions.
+pub struct PoissonStencil<S: Scalar> {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    cx: S,
+    cy: S,
+    cz: S,
+    cd: S,
+}
+
+impl<S: Scalar> PoissonStencil<S> {
+    /// 5-point stencil matching `poisson2d(nx, ny)`.
+    pub fn dim2(nx: usize, ny: usize) -> Self {
+        let hx = 1.0 / (nx as f64 + 1.0);
+        let hy = 1.0 / (ny as f64 + 1.0);
+        Self {
+            nx,
+            ny,
+            nz: 1,
+            cx: S::from_f64(1.0 / (hx * hx)),
+            cy: S::from_f64(1.0 / (hy * hy)),
+            cz: S::zero(),
+            cd: S::from_f64(2.0 / (hx * hx) + 2.0 / (hy * hy)),
+        }
+    }
+
+    /// 7-point stencil matching `poisson3d(nx, ny, nz)`.
+    pub fn dim3(nx: usize, ny: usize, nz: usize) -> Self {
+        let hx = 1.0 / (nx as f64 + 1.0);
+        let hy = 1.0 / (ny as f64 + 1.0);
+        let hz = 1.0 / (nz as f64 + 1.0);
+        Self {
+            nx,
+            ny,
+            nz,
+            cx: S::from_f64(1.0 / (hx * hx)),
+            cy: S::from_f64(1.0 / (hy * hy)),
+            cz: S::from_f64(1.0 / (hz * hz)),
+            cd: S::from_f64(2.0 / (hx * hx) + 2.0 / (hy * hy) + 2.0 / (hz * hz)),
+        }
+    }
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// One row of `A·x` for a single column, accumulated in the assembled
+    /// CSR's ascending-column order (z−, y−, x−, diag, x+, y+, z+) so the
+    /// result is bit-identical to the assembled SpMM.
+    #[inline]
+    fn row_dot(&self, i: usize, xj: &[S]) -> S {
+        let (nx, ny) = (self.nx, self.ny);
+        let plane = nx * ny;
+        let x = i % nx;
+        let y = (i / nx) % ny;
+        let z = i / plane;
+        let mut acc = S::zero();
+        if z > 0 {
+            acc += -self.cz * xj[i - plane];
+        }
+        if y > 0 {
+            acc += -self.cy * xj[i - nx];
+        }
+        if x > 0 {
+            acc += -self.cx * xj[i - 1];
+        }
+        acc += self.cd * xj[i];
+        if x + 1 < nx {
+            acc += -self.cx * xj[i + 1];
+        }
+        if y + 1 < ny {
+            acc += -self.cy * xj[i + nx];
+        }
+        if z + 1 < self.nz {
+            acc += -self.cz * xj[i + plane];
+        }
+        acc
+    }
+}
+
+impl<S: Scalar> ApplyRows<S> for PoissonStencil<S> {
+    fn nrows(&self) -> usize {
+        self.n()
+    }
+
+    fn apply_all(&self, x: &DMat<S>, y: &mut DMat<S>) {
+        let n = self.n();
+        assert_eq!(x.nrows(), n);
+        assert_eq!(y.nrows(), n);
+        assert_eq!(x.ncols(), y.ncols());
+        let p = x.ncols();
+        let yp = SendPtr::new(y.as_mut_slice().as_mut_ptr());
+        let band = |lo: usize, hi: usize| {
+            for j in 0..p {
+                let xj = x.col(j);
+                for i in lo..hi {
+                    let v = self.row_dot(i, xj);
+                    // SAFETY: each (row, column) output element is written
+                    // exactly once; parallel parts own disjoint row bands.
+                    unsafe { *yp.ptr().add(j * n + i) = v };
+                }
+            }
+        };
+        if n >= PAR_ROWS {
+            for_each_range(n, 0, band);
+        } else {
+            band(0, n);
+        }
+    }
+
+    fn apply_rows(&self, x: &DMat<S>, y: &mut DMat<S>, rows: &[usize]) {
+        let n = self.n();
+        assert_eq!(x.nrows(), n);
+        assert_eq!(y.nrows(), n);
+        assert_eq!(x.ncols(), y.ncols());
+        let p = x.ncols();
+        let yp = SendPtr::new(y.as_mut_slice().as_mut_ptr());
+        let band = |lo: usize, hi: usize| {
+            for j in 0..p {
+                let xj = x.col(j);
+                for &i in &rows[lo..hi] {
+                    let v = self.row_dot(i, xj);
+                    // SAFETY: row lists hold distinct indices and parallel
+                    // parts own disjoint slices of the list.
+                    unsafe { *yp.ptr().add(j * n + i) = v };
+                }
+            }
+        };
+        if rows.len() >= PAR_ROWS {
+            for_each_range(rows.len(), 0, band);
+        } else {
+            band(0, rows.len());
+        }
+    }
+
+    /// Persistent operator data: four stencil coefficients. No per-nonzero
+    /// values or indices are streamed.
+    fn bytes_streamed(&self) -> usize {
+        4 * std::mem::size_of::<S>()
+    }
+}
+
+impl<S: Scalar> LinOp<S> for PoissonStencil<S> {
+    fn nrows(&self) -> usize {
+        self.n()
+    }
+    fn apply(&self, x: &DMat<S>, y: &mut DMat<S>) {
+        let _t = kryst_obs::profile(kryst_obs::Phase::SpmvMf);
+        ApplyRows::apply_all(self, x, y);
+    }
+    fn bytes_per_apply(&self) -> Option<usize> {
+        Some(ApplyRows::<S>::bytes_streamed(self))
+    }
+}
+
+/// Matrix-free Q1 elasticity applier: the same operator as
+/// [`elasticity3d`](crate::elasticity::elasticity3d) with the same options,
+/// computed row-by-row from the two unit-E 24×24 element matrices and the
+/// inclusion geometry. Per-row accumulation visits the ≤ 8 adjacent
+/// elements in lexicographic order, so results are deterministic and
+/// independent of the thread count (but reassociated relative to the
+/// assembled CSR — agreement is to rounding tolerance).
+pub struct ElasticityStencil<S: Scalar> {
+    ne: usize,
+    nn: usize,
+    h: f64,
+    lam_unit: f64,
+    mu_unit: f64,
+    e_modulus: f64,
+    inclusion: Option<Inclusion>,
+    clamp_bottom: bool,
+    k_lam: ElementMatrix,
+    k_mu: ElementMatrix,
+    /// Free-dof count.
+    n: usize,
+    _marker: std::marker::PhantomData<S>,
+}
+
+impl<S: Scalar> ElasticityStencil<S> {
+    /// Build the applier for the operator `elasticity3d(opts)` generates.
+    pub fn new(opts: &ElasticityOpts) -> Self {
+        let ne = opts.ne;
+        let nn = ne + 1;
+        let h = 1.0 / ne as f64;
+        let nu = opts.poisson;
+        let (k_lam, k_mu) = element_stiffness(h);
+        let clamped_nodes = if opts.clamp_bottom { nn * nn } else { 0 };
+        Self {
+            ne,
+            nn,
+            h,
+            lam_unit: nu / ((1.0 + nu) * (1.0 - 2.0 * nu)),
+            mu_unit: 1.0 / (2.0 * (1.0 + nu)),
+            e_modulus: opts.e_modulus,
+            inclusion: opts.inclusion,
+            clamp_bottom: opts.clamp_bottom,
+            k_lam,
+            k_mu,
+            n: 3 * (nn * nn * nn - clamped_nodes),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Free-dof index of `(node, component)`, `usize::MAX` when clamped.
+    #[inline]
+    fn dof(&self, node: usize, c: usize) -> usize {
+        let plane = self.nn * self.nn;
+        if self.clamp_bottom {
+            if node < plane {
+                return usize::MAX;
+            }
+            3 * (node - plane) + c
+        } else {
+            3 * node + c
+        }
+    }
+
+    /// Young-modulus scale of element `(ex, ey, ez)` (inclusion test on its
+    /// center — identical to the assembly).
+    #[inline]
+    fn e_scale(&self, ex: usize, ey: usize, ez: usize) -> f64 {
+        if let Some(inc) = &self.inclusion {
+            let cx = (ex as f64 + 0.5) * self.h - inc.center[0];
+            let cy = (ey as f64 + 0.5) * self.h - inc.center[1];
+            let cz = (ez as f64 + 0.5) * self.h - inc.center[2];
+            if cx * cx + cy * cy + cz * cz < inc.r * inc.r {
+                return self.e_modulus / inc.stiffness_ratio;
+            }
+        }
+        self.e_modulus
+    }
+
+    /// One row of `A·x` for a single column: row = free dof `(node, i)`,
+    /// summed over the adjacent elements.
+    #[inline]
+    fn row_dot(&self, row: usize, xj: &[S]) -> S {
+        let nn = self.nn;
+        let plane = nn * nn;
+        let node = row / 3 + if self.clamp_bottom { plane } else { 0 };
+        let i = row % 3;
+        let x = node % nn;
+        let y = (node / nn) % nn;
+        let z = node / plane;
+        let mut acc = S::zero();
+        for dz in 0..2usize {
+            if (dz == 1 && z == 0) || (dz == 0 && z == self.ne) {
+                continue;
+            }
+            let ez = z - dz;
+            for dy in 0..2usize {
+                if (dy == 1 && y == 0) || (dy == 0 && y == self.ne) {
+                    continue;
+                }
+                let ey = y - dy;
+                for dx in 0..2usize {
+                    if (dx == 1 && x == 0) || (dx == 0 && x == self.ne) {
+                        continue;
+                    }
+                    let ex = x - dx;
+                    // Local corner index of `node` within element
+                    // `(ex, ey, ez)` — corner order is `dx + 2dy + 4dz`.
+                    let a = dx + 2 * dy + 4 * dz;
+                    let scale = self.e_scale(ex, ey, ez);
+                    let lam = self.lam_unit * scale;
+                    let mu = self.mu_unit * scale;
+                    let ra_lam = &self.k_lam[3 * a + i];
+                    let ra_mu = &self.k_mu[3 * a + i];
+                    for b in 0..8usize {
+                        let nb = ((ez + (b >> 2)) * nn + ey + ((b >> 1) & 1)) * nn + ex + (b & 1);
+                        for j in 0..3 {
+                            let gb = self.dof(nb, j);
+                            if gb == usize::MAX {
+                                continue;
+                            }
+                            let v = lam * ra_lam[3 * b + j] + mu * ra_mu[3 * b + j];
+                            acc += S::from_f64(v) * xj[gb];
+                        }
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl<S: Scalar> ApplyRows<S> for ElasticityStencil<S> {
+    fn nrows(&self) -> usize {
+        self.n
+    }
+
+    fn apply_all(&self, x: &DMat<S>, y: &mut DMat<S>) {
+        let n = self.n;
+        assert_eq!(x.nrows(), n);
+        assert_eq!(y.nrows(), n);
+        assert_eq!(x.ncols(), y.ncols());
+        let p = x.ncols();
+        let yp = SendPtr::new(y.as_mut_slice().as_mut_ptr());
+        let band = |lo: usize, hi: usize| {
+            for j in 0..p {
+                let xj = x.col(j);
+                for i in lo..hi {
+                    let v = self.row_dot(i, xj);
+                    // SAFETY: one write per (row, column); disjoint bands.
+                    unsafe { *yp.ptr().add(j * n + i) = v };
+                }
+            }
+        };
+        if n >= PAR_ROWS {
+            for_each_range(n, 0, band);
+        } else {
+            band(0, n);
+        }
+    }
+
+    fn apply_rows(&self, x: &DMat<S>, y: &mut DMat<S>, rows: &[usize]) {
+        let n = self.n;
+        assert_eq!(x.nrows(), n);
+        assert_eq!(y.nrows(), n);
+        assert_eq!(x.ncols(), y.ncols());
+        let p = x.ncols();
+        let yp = SendPtr::new(y.as_mut_slice().as_mut_ptr());
+        let band = |lo: usize, hi: usize| {
+            for j in 0..p {
+                let xj = x.col(j);
+                for &i in &rows[lo..hi] {
+                    let v = self.row_dot(i, xj);
+                    // SAFETY: distinct rows; disjoint list slices.
+                    unsafe { *yp.ptr().add(j * n + i) = v };
+                }
+            }
+        };
+        if rows.len() >= PAR_ROWS {
+            for_each_range(rows.len(), 0, band);
+        } else {
+            band(0, rows.len());
+        }
+    }
+
+    /// Persistent operator data: the two 24×24 unit-E element matrices.
+    fn bytes_streamed(&self) -> usize {
+        2 * 24 * 24 * std::mem::size_of::<f64>()
+    }
+}
+
+impl<S: Scalar> LinOp<S> for ElasticityStencil<S> {
+    fn nrows(&self) -> usize {
+        self.n
+    }
+    fn apply(&self, x: &DMat<S>, y: &mut DMat<S>) {
+        let _t = kryst_obs::profile(kryst_obs::Phase::SpmvMf);
+        ApplyRows::apply_all(self, x, y);
+    }
+    fn bytes_per_apply(&self) -> Option<usize> {
+        Some(ApplyRows::<S>::bytes_streamed(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elasticity::elasticity3d;
+    use crate::poisson::{poisson2d, poisson3d};
+
+    #[test]
+    fn poisson2d_stencil_is_bit_identical_to_assembled() {
+        for &(nx, ny) in &[(7usize, 5usize), (16, 16), (33, 17)] {
+            let asm = poisson2d::<f64>(nx, ny).a;
+            let st = PoissonStencil::<f64>::dim2(nx, ny);
+            let n = nx * ny;
+            let x = DMat::from_fn(n, 4, |i, j| ((i * 13 + j * 7) % 23) as f64 * 0.37 - 3.0);
+            let ya = asm.apply(&x);
+            let ys = LinOp::apply_new(&st, &x);
+            for j in 0..4 {
+                for i in 0..n {
+                    assert_eq!(ya[(i, j)], ys[(i, j)], "({i},{j}) on {nx}x{ny}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisson3d_stencil_is_bit_identical_to_assembled() {
+        let (nx, ny, nz) = (9usize, 7usize, 5usize);
+        let asm = poisson3d::<f64>(nx, ny, nz).a;
+        let st = PoissonStencil::<f64>::dim3(nx, ny, nz);
+        let n = nx * ny * nz;
+        let x = DMat::from_fn(n, 3, |i, j| ((i * 11 + j * 5) % 19) as f64 * 0.53 - 4.0);
+        let ya = asm.apply(&x);
+        let ys = LinOp::apply_new(&st, &x);
+        for j in 0..3 {
+            for i in 0..n {
+                assert_eq!(ya[(i, j)], ys[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_apply_rows_touches_only_requested_rows() {
+        let st = PoissonStencil::<f64>::dim2(12, 12);
+        let n = 144;
+        let x = DMat::from_fn(n, 2, |i, j| (i + j) as f64);
+        let mut y = DMat::from_fn(n, 2, |_, _| -99.0);
+        let rows: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
+        st.apply_rows(&x, &mut y, &rows);
+        let full = LinOp::apply_new(&st, &x);
+        for j in 0..2 {
+            for i in 0..n {
+                if i % 3 == 0 {
+                    assert_eq!(y[(i, j)], full[(i, j)]);
+                } else {
+                    assert_eq!(y[(i, j)], -99.0, "row {i} must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elasticity_stencil_matches_assembled_to_rounding() {
+        for inclusion in [None, Some(crate::elasticity::PAPER_INCLUSIONS[1])] {
+            let opts = ElasticityOpts {
+                ne: 4,
+                inclusion,
+                ..Default::default()
+            };
+            let asm = elasticity3d::<f64>(&opts).problem.a;
+            let st = ElasticityStencil::<f64>::new(&opts);
+            assert_eq!(LinOp::nrows(&st), asm.nrows());
+            let n = asm.nrows();
+            let x = DMat::from_fn(n, 3, |i, j| ((i * 7 + j * 3) % 13) as f64 * 0.21 - 1.0);
+            let ya = asm.apply(&x);
+            let ys = LinOp::apply_new(&st, &x);
+            let scale = asm.inf_norm();
+            for j in 0..3 {
+                for i in 0..n {
+                    assert!(
+                        (ya[(i, j)] - ys[(i, j)]).abs() < 1e-12 * scale,
+                        "({i},{j}): {} vs {}",
+                        ya[(i, j)],
+                        ys[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elasticity_free_free_operator_matches() {
+        let opts = ElasticityOpts {
+            ne: 3,
+            clamp_bottom: false,
+            ..Default::default()
+        };
+        let asm = elasticity3d::<f64>(&opts).problem.a;
+        let st = ElasticityStencil::<f64>::new(&opts);
+        assert_eq!(LinOp::nrows(&st), asm.nrows());
+        let n = asm.nrows();
+        let x = DMat::from_fn(n, 1, |i, _| (i as f64 * 0.31).sin());
+        let ya = asm.apply(&x);
+        let ys = LinOp::apply_new(&st, &x);
+        let scale = asm.inf_norm();
+        for i in 0..n {
+            assert!((ya[(i, 0)] - ys[(i, 0)]).abs() < 1e-12 * scale);
+        }
+    }
+
+    #[test]
+    fn stencils_report_tiny_byte_footprints() {
+        let st = PoissonStencil::<f64>::dim2(64, 64);
+        let asm = poisson2d::<f64>(64, 64).a;
+        let mf = ApplyRows::<f64>::bytes_streamed(&st);
+        let full = LinOp::bytes_per_apply(&asm).unwrap();
+        assert!(
+            mf * 100 < full,
+            "matrix-free footprint {mf} not ≪ assembled {full}"
+        );
+    }
+}

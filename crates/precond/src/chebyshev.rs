@@ -29,10 +29,16 @@ impl<S: Scalar> Chebyshev<S> {
     /// Build a degree-`degree` smoother; `ratio` sets the targeted interval
     /// (PETSc default ≈ 10: smooth `[λmax/10, 1.1·λmax]`).
     pub fn new(a: &Csr<S>, degree: usize, ratio: f64) -> Self {
-        let inv_diag: Vec<S> = a
-            .diag()
-            .into_iter()
-            .map(|d| {
+        Self::with_diag(a, &a.diag(), degree, ratio)
+    }
+
+    /// [`Chebyshev::new`] with an already-extracted diagonal — lets callers
+    /// that have scanned the matrix once (e.g. AMG setup) avoid a second
+    /// `diag()` pass.
+    pub fn with_diag(a: &Csr<S>, diag: &[S], degree: usize, ratio: f64) -> Self {
+        let inv_diag: Vec<S> = diag
+            .iter()
+            .map(|&d| {
                 assert!(d != S::zero(), "Chebyshev: zero diagonal");
                 S::one() / d
             })
@@ -51,6 +57,21 @@ impl<S: Scalar> Chebyshev<S> {
     /// Estimated upper spectral bound of `D⁻¹A` used by this smoother.
     pub fn lambda_max(&self) -> f64 {
         self.hi / 1.1
+    }
+
+    /// The smoothing interval `[lo, hi]` on the spectrum of `D⁻¹A`.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The stored inverse diagonal.
+    pub fn inv_diag(&self) -> &[S] {
+        &self.inv_diag
     }
 
     /// Run `x ⟵ x + p(D⁻¹A)·D⁻¹·(b − A·x)` via the standard three-term

@@ -15,10 +15,16 @@ impl<S: Scalar> Jacobi<S> {
     /// Build from the matrix diagonal with damping weight `omega`
     /// (1.0 = plain Jacobi, ≈0.67 for smoothing).
     pub fn new(a: &Csr<S>, omega: f64) -> Self {
-        let inv_diag = a
-            .diag()
-            .into_iter()
-            .map(|d| {
+        Self::with_diag(&a.diag(), omega)
+    }
+
+    /// Build from an already-extracted diagonal — lets callers that have
+    /// scanned the matrix once (e.g. AMG setup) avoid a second `diag()`
+    /// pass.
+    pub fn with_diag(diag: &[S], omega: f64) -> Self {
+        let inv_diag = diag
+            .iter()
+            .map(|&d| {
                 assert!(d != S::zero(), "Jacobi: zero diagonal entry");
                 S::one() / d
             })
@@ -27,6 +33,16 @@ impl<S: Scalar> Jacobi<S> {
             inv_diag,
             weight: S::from_f64(omega),
         }
+    }
+
+    /// The stored scaled-inverse diagonal (ω already excluded).
+    pub fn inv_diag(&self) -> &[S] {
+        &self.inv_diag
+    }
+
+    /// The damping weight ω.
+    pub fn weight(&self) -> S {
+        self.weight
     }
 
     /// One smoothing sweep: `x ⟵ x + ω·D⁻¹·(b − A·x)` repeated `iters` times.

@@ -16,9 +16,9 @@
 
 use kryst_dense::DMat;
 use kryst_obs::{Event, PrecondApplyEvent, Recorder};
-use kryst_par::{CommStats, PrecondOp};
+use kryst_par::{CommStats, PrecondOp, PrecondPrecision};
 use kryst_rt::par::{for_each_range, map_vec};
-use kryst_scalar::Scalar;
+use kryst_scalar::{Demote, Scalar};
 use kryst_sparse::partition::{
     grow_overlap, partition_of_unity, restricted_partition_of_unity, Partition,
 };
@@ -61,19 +61,50 @@ impl Default for SchwarzOpts {
     }
 }
 
-struct Subdomain<S: Scalar> {
+struct Subdomain<S: Demote> {
     /// Global indices of the overlapping set.
     set: Vec<usize>,
     /// Partition-of-unity weights aligned with `set`.
     weights: Vec<f64>,
-    solver: SparseDirect<S>,
-    /// Persistent `(local, permuted-scratch)` buffers for the gathered RHS
-    /// and the in-place banded solve. Allocated lazily on the first apply
-    /// (and again only if the block width changes), so steady-state applies
-    /// are allocation-free. One mutex per subdomain: the parallel sweep
-    /// assigns each subdomain to exactly one worker, so locks never
-    /// contend.
-    bufs: Mutex<(DMat<S>, DMat<S>)>,
+    solver: SubSolver<S>,
+}
+
+/// A factored subdomain operator at the chosen storage precision. Each
+/// variant carries its persistent `(local, permuted-scratch)` buffers for
+/// the gathered RHS and the in-place banded solve; they are allocated
+/// lazily on the first apply (and again only if the block width changes),
+/// so steady-state applies are allocation-free. One mutex per subdomain:
+/// the parallel sweep assigns each subdomain to exactly one worker, so
+/// locks never contend.
+#[allow(clippy::type_complexity)]
+enum SubSolver<S: Demote> {
+    Full(SparseDirect<S>, Mutex<(DMat<S>, DMat<S>)>),
+    /// Banded factors in `S::Lo`: the gather demotes, the triangular solve
+    /// runs entirely in low precision, the weighted scatter promotes.
+    Low(SparseDirect<S::Lo>, Mutex<(DMat<S::Lo>, DMat<S::Lo>)>),
+}
+
+impl<S: Demote> SubSolver<S> {
+    fn n(&self) -> usize {
+        match self {
+            SubSolver::Full(s, _) => s.n(),
+            SubSolver::Low(s, _) => s.n(),
+        }
+    }
+    fn bandwidth(&self) -> usize {
+        match self {
+            SubSolver::Full(s, _) => s.bandwidth(),
+            SubSolver::Low(s, _) => s.bandwidth(),
+        }
+    }
+    /// Bytes of banded factor streamed by one single-RHS local solve.
+    fn factor_bytes(&self) -> usize {
+        let elems = self.n() * (2 * self.bandwidth() + 1);
+        match self {
+            SubSolver::Full(..) => elems * std::mem::size_of::<S>(),
+            SubSolver::Low(..) => elems * std::mem::size_of::<S::Lo>(),
+        }
+    }
 }
 
 /// Reshape `m` to `nr × nc`, reusing its backing allocation when the
@@ -91,10 +122,11 @@ fn reshape<S: Scalar>(m: &mut DMat<S>, nr: usize, nc: usize) {
 }
 
 /// The assembled Schwarz preconditioner.
-pub struct Schwarz<S: Scalar> {
+pub struct Schwarz<S: Demote> {
     subs: Vec<Subdomain<S>>,
     n: usize,
     variant: SchwarzVariant,
+    precision: PrecondPrecision,
     stats: Option<Arc<CommStats>>,
     recorder: Option<Arc<dyn Recorder>>,
     /// Total triangular-solve flops per single-RHS application (for the cost
@@ -102,11 +134,26 @@ pub struct Schwarz<S: Scalar> {
     flops_per_rhs: usize,
 }
 
-impl<S: Scalar> Schwarz<S> {
+impl<S: Demote> Schwarz<S> {
     /// Build from a non-overlapping partition: grows overlap, extracts and
-    /// factors the local operators (in parallel).
+    /// factors the local operators (in parallel). Factors are stored in `S`.
     pub fn new(a: &Csr<S>, partition: &Partition, opts: &SchwarzOpts) -> Self {
+        Self::with_precision(a, partition, opts, PrecondPrecision::Full)
+    }
+
+    /// [`Schwarz::new`] with a storage-precision choice for the subdomain
+    /// factorizations. With [`PrecondPrecision::Single`] each local operator
+    /// is demoted to `S::Lo` *before* factoring — half the factor bytes per
+    /// local solve — and the apply demotes on gather / promotes on scatter.
+    /// Non-lossy scalars fall back to full precision.
+    pub fn with_precision(
+        a: &Csr<S>,
+        partition: &Partition,
+        opts: &SchwarzOpts,
+        precision: PrecondPrecision,
+    ) -> Self {
         let n = a.nrows();
+        let low = precision == PrecondPrecision::Single && S::LOSSY;
         let overlapping = grow_overlap(a, partition, opts.overlap);
         let weights = match opts.variant {
             SchwarzVariant::Asm => overlapping.iter().map(|s| vec![1.0; s.len()]).collect(),
@@ -136,17 +183,31 @@ impl<S: Scalar> Schwarz<S> {
                     }
                 }
             }
-            let solver = SparseDirect::factor(&local).unwrap_or_else(|| {
-                // Local singular operator (can happen for ASM on pure
-                // Neumann pieces): tiny diagonal regularization.
-                let shift = S::from_f64(1e-12) * S::from_real(local.inf_norm());
-                SparseDirect::factor(&local.shift_diag(shift)).expect("regularized local factor")
-            });
+            let solver = if low {
+                // Demote the assembled local operator (impedance shift
+                // included), then factor in `S::Lo`.
+                let local_lo = local.demote_values();
+                let f = SparseDirect::factor(&local_lo).unwrap_or_else(|| {
+                    let shift = <S::Lo as Scalar>::from_f64(1e-12)
+                        * <S::Lo as Scalar>::from_real(local_lo.inf_norm());
+                    SparseDirect::factor(&local_lo.shift_diag(shift))
+                        .expect("regularized local factor")
+                });
+                SubSolver::Low(f, Mutex::new((DMat::zeros(0, 0), DMat::zeros(0, 0))))
+            } else {
+                let f = SparseDirect::factor(&local).unwrap_or_else(|| {
+                    // Local singular operator (can happen for ASM on pure
+                    // Neumann pieces): tiny diagonal regularization.
+                    let shift = S::from_f64(1e-12) * S::from_real(local.inf_norm());
+                    SparseDirect::factor(&local.shift_diag(shift))
+                        .expect("regularized local factor")
+                });
+                SubSolver::Full(f, Mutex::new((DMat::zeros(0, 0), DMat::zeros(0, 0))))
+            };
             Subdomain {
                 set,
                 weights: w,
                 solver,
-                bufs: Mutex::new((DMat::zeros(0, 0), DMat::zeros(0, 0))),
             }
         });
         let flops_per_rhs = subs
@@ -161,6 +222,11 @@ impl<S: Scalar> Schwarz<S> {
             subs,
             n,
             variant: opts.variant,
+            precision: if low {
+                PrecondPrecision::Single
+            } else {
+                PrecondPrecision::Full
+            },
             stats: None,
             recorder: None,
             flops_per_rhs,
@@ -215,13 +281,15 @@ fn interface_rows<S: Scalar>(a: &Csr<S>, set: &[usize]) -> Vec<bool> {
         .collect()
 }
 
-impl<S: Scalar> PrecondOp<S> for Schwarz<S> {
+impl<S: Demote> PrecondOp<S> for Schwarz<S> {
     fn nrows(&self) -> usize {
         self.n
     }
 
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
         let _t = kryst_obs::profile(kryst_obs::Phase::Precond);
+        let _lp = (self.precision == PrecondPrecision::Single)
+            .then(|| kryst_obs::profile(kryst_obs::Phase::PrecondLp));
         let p = r.ncols();
         // Clock only when tracing is actually on.
         let rec = self.recorder.as_ref().filter(|rc| rc.enabled());
@@ -246,29 +314,62 @@ impl<S: Scalar> PrecondOp<S> for Schwarz<S> {
         for_each_range(self.subs.len(), 0, |lo, hi| {
             for sub in &self.subs[lo..hi] {
                 let ni = sub.set.len();
-                let mut guard = sub.bufs.lock().unwrap();
-                let (local, scratch) = &mut *guard;
-                reshape(local, ni, p);
-                reshape(scratch, ni, p);
-                for c in 0..p {
-                    let rc = r.col(c);
-                    let lc = local.col_mut(c);
-                    for (li, &g) in sub.set.iter().enumerate() {
-                        lc[li] = rc[g];
+                match &sub.solver {
+                    SubSolver::Full(solver, bufs) => {
+                        let mut guard = bufs.lock().unwrap();
+                        let (local, scratch) = &mut *guard;
+                        reshape(local, ni, p);
+                        reshape(scratch, ni, p);
+                        for c in 0..p {
+                            let rc = r.col(c);
+                            let lc = local.col_mut(c);
+                            for (li, &g) in sub.set.iter().enumerate() {
+                                lc[li] = rc[g];
+                            }
+                        }
+                        solver.solve_in_place_ws(local, scratch, 8, 1);
+                    }
+                    SubSolver::Low(solver, bufs) => {
+                        let mut guard = bufs.lock().unwrap();
+                        let (local, scratch) = &mut *guard;
+                        reshape(local, ni, p);
+                        reshape(scratch, ni, p);
+                        for c in 0..p {
+                            let rc = r.col(c);
+                            let lc = local.col_mut(c);
+                            for (li, &g) in sub.set.iter().enumerate() {
+                                lc[li] = rc[g].demote();
+                            }
+                        }
+                        solver.solve_in_place_ws(local, scratch, 8, 1);
                     }
                 }
-                sub.solver.solve_in_place_ws(local, scratch, 8, 1);
             }
         });
         z.set_zero();
         for sub in &self.subs {
-            let guard = sub.bufs.lock().unwrap();
-            let sol = &guard.0;
-            for c in 0..p {
-                let ac = z.col_mut(c);
-                let sc = sol.col(c);
-                for (li, &g) in sub.set.iter().enumerate() {
-                    ac[g] += S::from_f64(sub.weights[li]) * sc[li];
+            match &sub.solver {
+                SubSolver::Full(_, bufs) => {
+                    let guard = bufs.lock().unwrap();
+                    let sol = &guard.0;
+                    for c in 0..p {
+                        let ac = z.col_mut(c);
+                        let sc = sol.col(c);
+                        for (li, &g) in sub.set.iter().enumerate() {
+                            ac[g] += S::from_f64(sub.weights[li]) * sc[li];
+                        }
+                    }
+                }
+                SubSolver::Low(_, bufs) => {
+                    let guard = bufs.lock().unwrap();
+                    let sol = &guard.0;
+                    for c in 0..p {
+                        let ac = z.col_mut(c);
+                        let sc = sol.col(c);
+                        for (li, &g) in sub.set.iter().enumerate() {
+                            ac[g] += S::from_f64(sub.weights[li]) * S::promote_lo(sc[li]);
+                        }
+                    }
                 }
             }
         }
@@ -280,6 +381,16 @@ impl<S: Scalar> PrecondOp<S> for Schwarz<S> {
                 wall_ns: t0.expect("t0 set when tracing").elapsed().as_nanos() as u64,
             }));
         }
+    }
+
+    fn precision(&self) -> PrecondPrecision {
+        self.precision
+    }
+
+    /// Banded-factor bytes streamed by one single-column application (sum
+    /// over subdomains); excludes gather/scatter vector traffic.
+    fn bytes_per_apply(&self) -> Option<usize> {
+        Some(self.subs.iter().map(|s| s.solver.factor_bytes()).sum())
     }
 }
 
@@ -413,6 +524,35 @@ mod tests {
             rel_oras < rel_asm,
             "ORAS ({rel_oras:.3e}) must beat ASM ({rel_asm:.3e}) on indefinite Maxwell"
         );
+    }
+
+    #[test]
+    fn single_precision_tracks_full() {
+        let p = poisson2d::<f64>(16, 16);
+        let part = partition_rcb(&p.coords, 4);
+        let opts = SchwarzOpts {
+            overlap: 2,
+            ..Default::default()
+        };
+        let full = Schwarz::new(&p.a, &part, &opts);
+        let lo = Schwarz::with_precision(&p.a, &part, &opts, PrecondPrecision::Single);
+        assert_eq!(full.precision(), PrecondPrecision::Full);
+        assert_eq!(lo.precision(), PrecondPrecision::Single);
+        let n = p.a.nrows();
+        let r = DMat::from_fn(n, 3, |i, j| ((i * 2 + j) % 9) as f64 - 4.0);
+        let zf = full.apply_new(&r);
+        let zl = lo.apply_new(&r);
+        let mut diff = zl.clone();
+        diff.axpy(-1.0, &zf);
+        let rel = diff.fro_norm() / zf.fro_norm();
+        assert!(rel < 1e-5, "f32 subdomain solves drifted: rel {rel:.3e}");
+        // Factor bytes exactly halve: same bands, f32 vs f64 entries.
+        let bf = full.bytes_per_apply().unwrap();
+        let bl = lo.bytes_per_apply().unwrap();
+        assert_eq!(bl * 2, bf, "factor bytes {bl} vs {bf}");
+        // Richardson with the low factors still converges on SPD Poisson.
+        let rel_final = richardson_converges(&p.a, &lo, 30);
+        assert!(rel_final < 1e-3, "lo RAS Richardson: {rel_final:.3e}");
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Precision conversion between the `f64`-family and `f32`-family scalars.
+//!
+//! Memory-bandwidth-bound kernels (SpMV, triangular sweeps, V-cycles) are
+//! limited by bytes moved, not flops; storing preconditioner data in the
+//! low-precision partner type halves its value traffic while the outer
+//! iteration keeps full-precision arithmetic. The [`Demote`]/[`Promote`]
+//! pair is the plumbing: factors are *stored* as `S::Lo` and *promoted on
+//! the fly* back to `S` inside the sweep, so every accumulation still runs
+//! in the working precision.
+
+use crate::{Complex, Scalar, C32, C64};
+
+/// Widening conversion into the high-precision partner type.
+///
+/// Implemented by the low-precision family (`f32 → f64`, `C32 → C64`). The
+/// conversion is exact: every `f32` is representable as an `f64`.
+pub trait Promote: Scalar {
+    /// The high-precision counterpart (`f64` for `f32`, `C64` for `C32`).
+    type Hi: Scalar + Demote<Lo = Self>;
+    /// Lossless widening into [`Promote::Hi`].
+    fn promote(self) -> Self::Hi;
+}
+
+/// Narrowing conversion to the type's low-precision partner.
+///
+/// Implemented by *every* scalar so generic kernels can always name
+/// `S::Lo`: the high-precision types narrow to their `f32`-component
+/// partner (`f64 → f32`, `C64 → C32`, [`Demote::LOSSY`] = `true`), the
+/// low-precision types are their own partner (identity, `LOSSY` = `false`).
+pub trait Demote: Scalar {
+    /// The low-precision partner (`f32` for `f64`/`f32`, `C32` for
+    /// `C64`/`C32`).
+    type Lo: Scalar;
+    /// `true` when [`Demote::demote`] rounds (i.e. `Lo` is narrower than
+    /// `Self`); `false` when the conversion is the identity.
+    const LOSSY: bool;
+    /// Round to the low-precision partner.
+    fn demote(self) -> Self::Lo;
+    /// Widen a low-precision value back to `Self` (exact).
+    fn promote_lo(lo: Self::Lo) -> Self;
+}
+
+impl Promote for f32 {
+    type Hi = f64;
+    #[inline(always)]
+    fn promote(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Promote for C32 {
+    type Hi = C64;
+    #[inline(always)]
+    fn promote(self) -> C64 {
+        Complex::new(self.re as f64, self.im as f64)
+    }
+}
+
+impl Demote for f64 {
+    type Lo = f32;
+    const LOSSY: bool = true;
+    #[inline(always)]
+    fn demote(self) -> f32 {
+        self as f32
+    }
+    #[inline(always)]
+    fn promote_lo(lo: f32) -> f64 {
+        lo as f64
+    }
+}
+
+impl Demote for f32 {
+    type Lo = f32;
+    const LOSSY: bool = false;
+    #[inline(always)]
+    fn demote(self) -> f32 {
+        self
+    }
+    #[inline(always)]
+    fn promote_lo(lo: f32) -> f32 {
+        lo
+    }
+}
+
+impl Demote for C64 {
+    type Lo = C32;
+    const LOSSY: bool = true;
+    #[inline(always)]
+    fn demote(self) -> C32 {
+        Complex::new(self.re as f32, self.im as f32)
+    }
+    #[inline(always)]
+    fn promote_lo(lo: C32) -> C64 {
+        Complex::new(lo.re as f64, lo.im as f64)
+    }
+}
+
+impl Demote for C32 {
+    type Lo = C32;
+    const LOSSY: bool = false;
+    #[inline(always)]
+    fn demote(self) -> C32 {
+        self
+    }
+    #[inline(always)]
+    fn promote_lo(lo: C32) -> C32 {
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promote_is_exact_round_trip() {
+        for &v in &[0.0f32, 1.5, -3.25e-20, 7.1e20, f32::MIN_POSITIVE] {
+            assert_eq!(v.promote().demote(), v);
+        }
+        let z = C32::from_parts(1.5, -2.25);
+        assert_eq!(z.promote().demote(), z);
+    }
+
+    #[test]
+    fn demote_rounds_to_nearest_f32() {
+        let x = 1.0f64 + 1e-12; // below f32 resolution at 1.0
+        assert_eq!(x.demote(), 1.0f32);
+        let y: f64 = f64::promote_lo(x.demote());
+        assert!((y - x).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lossless_partners_are_identity() {
+        const { assert!(!<f32 as Demote>::LOSSY) };
+        const { assert!(!<C32 as Demote>::LOSSY) };
+        const { assert!(<f64 as Demote>::LOSSY) };
+        const { assert!(<C64 as Demote>::LOSSY) };
+        assert_eq!(2.5f32.demote(), 2.5f32);
+    }
+
+    #[test]
+    fn complex_demotes_componentwise() {
+        let z = C64::from_parts(1.0 + 1e-12, -2.0);
+        let lo = z.demote();
+        assert_eq!(lo.re, 1.0f32);
+        assert_eq!(lo.im, -2.0f32);
+        let back = C64::promote_lo(lo);
+        assert!((back - z).abs() < 1e-7);
+    }
+
+    fn generic_store_low<S: Demote>(vals: &[S]) -> Vec<S> {
+        // The kernel idiom: store demoted, promote on the fly.
+        let stored: Vec<S::Lo> = vals.iter().map(|&v| v.demote()).collect();
+        stored.into_iter().map(S::promote_lo).collect()
+    }
+
+    #[test]
+    fn generic_kernel_idiom_compiles_for_all_scalars() {
+        let r = generic_store_low(&[1.0f64, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.0, 3.0]);
+        let c = generic_store_low(&[C64::from_parts(1.0, -1.0)]);
+        assert_eq!(c[0], C64::from_parts(1.0, -1.0));
+    }
+}

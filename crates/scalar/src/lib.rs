@@ -11,10 +11,12 @@
 //! traits.
 
 mod complex;
+mod convert;
 mod real;
 mod scalar;
 
 pub use complex::Complex;
+pub use convert::{Demote, Promote};
 pub use real::Real;
 pub use scalar::Scalar;
 

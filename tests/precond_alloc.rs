@@ -35,10 +35,30 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static COUNTER: CountingAlloc = CountingAlloc;
 
 use kryst_dense::DMat;
-use kryst_par::PrecondOp;
+use kryst_par::{LinOp, PrecondOp, PrecondPrecision};
+use kryst_pde::elasticity::ElasticityOpts;
 use kryst_pde::poisson::poisson2d;
+use kryst_pde::stencil::{ElasticityStencil, PoissonStencil};
 use kryst_precond::{Amg, AmgOpts, Chebyshev, Ilu0, Jacobi, Schwarz, SchwarzOpts, SchwarzVariant};
 use kryst_sparse::partition::partition_rcb;
+
+fn assert_zero_alloc_linop(op: &dyn LinOp<f64>, p: usize, what: &str) {
+    let n = op.nrows();
+    let x = DMat::from_fn(n, p, |i, j| (((i * 7 + j * 13) % 19) as f64) - 9.0);
+    let mut y = DMat::zeros(n, p);
+    for _ in 0..3 {
+        op.apply(&x, &mut y);
+    }
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..5 {
+        op.apply(&x, &mut y);
+    }
+    let delta = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "{what} p={p}: {delta} allocations across 5 steady-state applies"
+    );
+}
 
 fn assert_zero_alloc(m: &dyn PrecondOp<f64>, p: usize, what: &str) {
     let n = m.nrows();
@@ -92,6 +112,35 @@ fn steady_state_applies_do_not_allocate() {
         },
     );
 
+    // Single-precision variants: same contract. The ILU low path owns a
+    // packed f32 scratch block that grows on first apply at each width —
+    // the warm-up applies cover that, and clear+resize reuses capacity.
+    let ilu_lp = Ilu0::with_precision(a, PrecondPrecision::Single).expect("factorizable");
+    let amg_lp = Amg::with_precision(
+        a,
+        prob.near_nullspace.as_ref(),
+        &AmgOpts::default(),
+        PrecondPrecision::Single,
+    );
+    let ras_lp = Schwarz::with_precision(
+        a,
+        &part,
+        &SchwarzOpts {
+            variant: SchwarzVariant::Ras,
+            overlap: 2,
+            ..Default::default()
+        },
+        PrecondPrecision::Single,
+    );
+
+    // Matrix-free stencil operators: zero state beyond the geometry, so
+    // applies must be allocation-free from the first call onward.
+    let poisson_st = PoissonStencil::<f64>::dim2(32, 24);
+    let elasticity_st = ElasticityStencil::<f64>::new(&ElasticityOpts {
+        ne: 6,
+        ..Default::default()
+    });
+
     for p in [1usize, 4, 8] {
         assert_zero_alloc(&jacobi, p, "jacobi");
         assert_zero_alloc(&chebyshev, p, "chebyshev");
@@ -99,5 +148,10 @@ fn steady_state_applies_do_not_allocate() {
         assert_zero_alloc(&amg, p, "amg");
         assert_zero_alloc(&asm, p, "schwarz/asm");
         assert_zero_alloc(&ras, p, "schwarz/ras");
+        assert_zero_alloc(&ilu_lp, p, "ilu0/f32");
+        assert_zero_alloc(&amg_lp, p, "amg/f32");
+        assert_zero_alloc(&ras_lp, p, "schwarz/ras/f32");
+        assert_zero_alloc_linop(&poisson_st, p, "stencil/poisson2d");
+        assert_zero_alloc_linop(&elasticity_st, p, "stencil/elasticity");
     }
 }
