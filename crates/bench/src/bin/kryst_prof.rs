@@ -23,24 +23,31 @@
 //! solves is then stored in compact single precision (`u32` indices + `f32`
 //! values), so the profile grows a `precond_lp` phase.
 
-use kryst_core::{gcrodr, gmres, SolveOpts, SolverContext};
+use kryst_core::{gcrodr, gmres, OrthPath, SolveOpts, SolverContext};
 use kryst_dense::DMat;
 use kryst_obs::json::JsonValue;
 use kryst_obs::{JsonlRecorder, MetricsRegistry, ProfileSnapshot, Profiler, Recorder};
 use kryst_par::{
-    comm_from_json, comm_to_json, per_rank_comm, phase_report, publish_imbalance, CommStats,
-    CostModel, DistOp, HaloPlan, Layout, LinOp, PrecondOp, PrecondPrecision,
+    comm_from_json, comm_to_json, per_rank_comm, phase_report, publish_imbalance, CommSnapshot,
+    CommStats, CostModel, DistOp, HaloPlan, Layout, LinOp, PrecondOp, PrecondPrecision,
 };
 use kryst_pde::poisson::poisson2d;
 use kryst_pde::stencil::PoissonStencil;
-use kryst_precond::Ilu0;
+use kryst_precond::{Amg, AmgOpts, Ilu0};
 use kryst_rt::rng::Rng64;
 use kryst_sparse::{Coo, Csr};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-const RANKS: [usize; 4] = [512, 1024, 2048, 4096];
+const RANKS: [usize; 5] = [512, 1024, 2048, 4096, 8192];
 const DEMO_RANKS: usize = 8;
+/// Unknowns of the demo operator (`convdiff2d(32, …)`).
+const DEMO_N: usize = 32 * 32;
+/// Extrapolation target for the latency-hiding section: per-unknown local
+/// work from the demo run scaled up to a paper-scale (Fig. 7) problem, so
+/// the model answers "how much reduction latency would the lagged apply
+/// hide at machine scale" rather than on the laptop-sized demo operator.
+const PAPER_N: usize = 100_000_000;
 
 /// The Fig. 7 benchmark operator: 2-D convection–diffusion, first-order
 /// upwind convection (same builder as `tests/comm_model.rs`).
@@ -140,7 +147,7 @@ fn demo(dir: &Path) {
     let prof = Profiler::global();
     prof.set_enabled(true);
 
-    let run = |label: &str, recycle: usize| {
+    let run = |label: &str, recycle: usize, ortho: OrthPath| {
         let stats = CommStats::new_shared();
         let dist = DistOp::new(a.clone(), DEMO_RANKS, Arc::clone(&stats));
         let trace = dir.join(format!("{label}.jsonl"));
@@ -151,6 +158,7 @@ fn demo(dir: &Path) {
             restart: 30,
             recycle,
             max_iters: 5000,
+            ortho,
             stats: Some(Arc::clone(&stats)),
             recorder: Some(Arc::new(rec) as Arc<dyn Recorder>),
             ..Default::default()
@@ -189,11 +197,111 @@ fn demo(dir: &Path) {
         publish_imbalance(reg, label, &per_rank_comm(&plan, &snap, DEMO_RANKS));
         eprintln!("  [demo] {label}: {iters} iterations");
     };
-    run("gmres30_ilu0", 0);
-    run("gcrodr30_10_ilu0", 10);
+    // Base labels honor the environment (`KRYST_FUSE` / `KRYST_PIPELINE`)
+    // exactly as before; the suffixed variants pin the path so the report
+    // can print classic-vs-fused-vs-pipelined curves from one demo run.
+    run("gmres30_ilu0", 0, OrthPath::default());
+    run("gmres30_ilu0_classic", 0, OrthPath::Classic);
+    run("gmres30_ilu0_pipelined", 0, OrthPath::Pipelined);
+    run("gcrodr30_10_ilu0", 10, OrthPath::default());
+    run("gcrodr30_10_ilu0_pipelined", 10, OrthPath::Pipelined);
+    amg_demo(dir, reg);
     write_file(&dir.join("metrics.json"), &reg.snapshot_json());
     bytes_table(dir);
     eprintln!("  [demo] artifacts in {}", dir.display());
+}
+
+/// AMG-preconditioned solve on a Poisson operator with a deliberately
+/// *large* coarse level (capped coarsening — the GAMG situation the paper's
+/// coarse-solve discussion targets): the redundant-serial coarse solve is
+/// then a real constant term on the modeled critical path, and the
+/// agglomeration model shows what gathering it onto a subset buys.
+/// Exercises the `coarse_agglom` profiler phase and writes the
+/// `coarse_agglom.json` redistribution model consumed by the report.
+fn amg_demo(dir: &Path, reg: &MetricsRegistry) {
+    let nx = 180;
+    let prob = poisson2d::<f64>(nx, nx);
+    let n = prob.a.nrows();
+    // Two-level hierarchy with a ~5.4k-row coarse level (capped coarsening)
+    // and a damped-Jacobi smoother (unconditionally contractive — the
+    // Chebyshev interval estimate is unreliable at this operator size).
+    let amg = Amg::new(
+        &prob.a,
+        prob.near_nullspace.as_ref(),
+        &AmgOpts {
+            coarse_size: 5500,
+            agglom_threshold: 8192,
+            smoother: kryst_precond::SmootherKind::Jacobi {
+                omega: 0.67,
+                iters: 2,
+            },
+            ..Default::default()
+        },
+    );
+    let stats = CommStats::new_shared();
+    let dist = DistOp::new(prob.a.clone(), DEMO_RANKS, Arc::clone(&stats));
+    let label = "gmres30_amg";
+    let trace = dir.join(format!("{label}.jsonl"));
+    let rec =
+        JsonlRecorder::create(&trace).unwrap_or_else(|e| panic!("open {}: {e}", trace.display()));
+    let opts = SolveOpts {
+        rtol: 1e-8,
+        restart: 30,
+        max_iters: 2000,
+        stats: Some(Arc::clone(&stats)),
+        recorder: Some(Arc::new(rec) as Arc<dyn Recorder>),
+        ..Default::default()
+    };
+    let mut rng = Rng64::seed_from_u64(44);
+    let b = DMat::from_fn(n, 1, |_, _| rng.gen_range(-1.0, 1.0));
+    let prof = Profiler::global();
+    prof.reset();
+    let mut x = DMat::zeros(n, 1);
+    let r = gmres::solve(&dist, &amg, &b, &mut x, &opts);
+    assert!(r.converged, "{label} did not converge");
+    drop(opts);
+    write_file(
+        &dir.join(format!("{label}.profile.json")),
+        &prof.snapshot().to_json(),
+    );
+    write_file(
+        &dir.join(format!("{label}.comm.json")),
+        &comm_to_json(&stats.snapshot()),
+    );
+    let plan = HaloPlan::build(&prob.a, &Layout::even(n, DEMO_RANKS));
+    publish_imbalance(
+        reg,
+        label,
+        &per_rank_comm(&plan, &stats.snapshot(), DEMO_RANKS),
+    );
+    eprintln!("  [demo] {label}: {} iterations", r.iterations);
+    // The redistribution model at each reported rank count.
+    let mut json = format!("{{\"coarse_n\":{},\"rows\":[", amg.coarse_n());
+    let mut first = true;
+    for &p in &RANKS {
+        let Some(m) = amg.coarse_agglom(p) else {
+            continue;
+        };
+        if !first {
+            json.push(',');
+        }
+        first = false;
+        json.push_str(&format!(
+            concat!(
+                "{{\"ranks\":{},\"subset\":{},\"gather_msgs\":{},\"gather_bytes\":{},",
+                "\"scatter_msgs\":{},\"scatter_bytes\":{},\"solve_flops\":{}}}"
+            ),
+            m.ranks,
+            m.subset,
+            m.gather_msgs,
+            m.gather_bytes,
+            m.scatter_msgs,
+            m.scatter_bytes,
+            m.solve_flops
+        ));
+    }
+    json.push_str("]}");
+    write_file(&dir.join("coarse_agglom.json"), &json);
 }
 
 /// Render the `bytes.json` table written by [`bytes_table`].
@@ -231,6 +339,120 @@ fn report_bytes(dir: &Path) {
         );
     }
     println!();
+}
+
+/// Render the `coarse_agglom.json` model written by [`amg_demo`]: the
+/// modeled per-apply cost of the all-ranks-serial coarse solve (a constant
+/// term that never scales) against the agglomerated subset solve plus its
+/// gather/scatter redistribution.
+fn report_coarse_agglom(dir: &Path, model: &CostModel) {
+    let Ok(text) = std::fs::read_to_string(dir.join("coarse_agglom.json")) else {
+        return;
+    };
+    let Ok(v) = JsonValue::parse(&text) else {
+        eprintln!("  [report] unparseable coarse_agglom.json, skipped");
+        return;
+    };
+    let coarse_n = v.get("coarse_n").and_then(JsonValue::as_usize).unwrap_or(0);
+    let Some(rows) = v.get("rows").and_then(JsonValue::as_array) else {
+        return;
+    };
+    println!("agglomerated coarse solve (modeled per V-cycle, coarse_n = {coarse_n}):");
+    println!(
+        "  {:>6} {:>7} {:>12} {:>12} {:>8}",
+        "P", "subset", "serial_s", "agglom_s", "speedup"
+    );
+    for row in rows {
+        let f = |k: &str| row.get(k).and_then(JsonValue::as_usize);
+        let (Some(ranks), Some(subset), Some(gmsgs), Some(gbytes), Some(flops)) = (
+            f("ranks"),
+            f("subset"),
+            f("gather_msgs"),
+            f("gather_bytes"),
+            f("solve_flops"),
+        ) else {
+            continue;
+        };
+        let subset_f = subset.max(1) as f64;
+        // Serial baseline: every rank solves the whole coarse problem — a
+        // P-independent term on the critical path.
+        let serial = flops as f64 / model.gamma;
+        // Agglomerated: gather fan-in per subset rank, subset solve, mirror
+        // scatter. The redistribution is charged honestly, not for free.
+        let redist =
+            (gmsgs as f64 / subset_f) * model.alpha_msg + (gbytes as f64 / subset_f) / model.beta;
+        let agglom = 2.0 * redist + flops as f64 / (model.gamma * subset_f);
+        println!(
+            "  {ranks:>6} {subset:>7} {serial:>12.3e} {agglom:>12.3e} {:>7.2}x",
+            serial / agglom
+        );
+    }
+    println!();
+}
+
+/// The latency-hiding section: per-iteration *exposed* reduction time for
+/// each orthogonalization path, with the local work extrapolated from the
+/// demo problem to [`PAPER_N`] unknowns (reduction counts per iteration are
+/// problem-size independent; the compute that hides them is not).
+fn report_latency_hiding(dir: &Path, model: &CostModel) {
+    let load = |label: &str| -> Option<(CommSnapshot, usize)> {
+        let comm = std::fs::read_to_string(dir.join(format!("{label}.comm.json")))
+            .ok()
+            .and_then(|t| comm_from_json(&t))?;
+        let iters = iterations_in_trace(&dir.join(format!("{label}.jsonl")));
+        (iters > 0).then_some((comm, iters))
+    };
+    let scale = (PAPER_N / DEMO_N).max(1) as u64;
+    let scaled = |s: &CommSnapshot| CommSnapshot {
+        flops: s.flops.saturating_mul(scale),
+        overlap_flops: s.overlap_flops.saturating_mul(scale),
+        reduction_overlap_flops: s.reduction_overlap_flops.saturating_mul(scale),
+        ..*s
+    };
+    for base in ["gmres30_ilu0", "gcrodr30_10_ilu0"] {
+        let Some((pipe, pipe_iters)) = load(&format!("{base}_pipelined")) else {
+            continue;
+        };
+        let Some((fused, fused_iters)) = load(base) else {
+            continue;
+        };
+        let classic = load(&format!("{base}_classic"));
+        println!(
+            "latency hiding, {base} (exposed reduction per iteration, \
+             local work extrapolated to N = {PAPER_N}):"
+        );
+        println!(
+            "  {:>6} {:>13} {:>13} {:>13} {:>13} {:>8}",
+            "P", "classic_s", "fused_s", "pipelined_s", "hidden_s", "cut"
+        );
+        let mut cut_at_max = 0.0;
+        for &p in &RANKS {
+            let tf = model.time(&scaled(&fused), p);
+            let tp = model.time(&scaled(&pipe), p);
+            let red_f = tf.reduction / fused_iters as f64;
+            let red_p = tp.reduction / pipe_iters as f64;
+            let hidden = tp.reduction_hidden / pipe_iters as f64;
+            let classic_s = classic
+                .as_ref()
+                .map(|(c, ci)| {
+                    format!(
+                        "{:>13.3e}",
+                        model.time(&scaled(c), p).reduction / *ci as f64
+                    )
+                })
+                .unwrap_or_else(|| format!("{:>13}", "-"));
+            let cut = red_f / red_p.max(f64::MIN_POSITIVE);
+            cut_at_max = cut;
+            println!(
+                "  {p:>6} {classic_s} {red_f:>13.3e} {red_p:>13.3e} {hidden:>13.3e} {cut:>7.2}x"
+            );
+        }
+        println!(
+            "  exposed reduction cut at P={}: {cut_at_max:.2}x vs fused",
+            RANKS[RANKS.len() - 1]
+        );
+        println!();
+    }
 }
 
 /// Count iteration events in a JSONL trace.
@@ -279,6 +501,8 @@ fn report(dir: &Path) -> bool {
         print!("{}", rep.to_text());
         println!();
     }
+    report_latency_hiding(dir, &model);
+    report_coarse_agglom(dir, &model);
     report_bytes(dir);
     let metrics = dir.join("metrics.json");
     if let Ok(text) = std::fs::read_to_string(&metrics) {

@@ -12,8 +12,8 @@ use crate::opts::{OrthPath, PrecondSide};
 use kryst_dense::chol;
 use kryst_dense::gs::{fused_orthogonalize_block, orthogonalize_block, OrthScheme};
 use kryst_dense::qr::IncrementalQr;
-use kryst_dense::{blas, DMat};
-use kryst_par::{CommStats, LinOp, PrecondOp};
+use kryst_dense::{blas, tri, DMat};
+use kryst_par::{CommStats, LinOp, PrecondOp, PrecondPrecision};
 use kryst_scalar::{Real, Scalar};
 use kryst_sparse::SpmmWorkspace;
 
@@ -90,6 +90,23 @@ impl<'a, S: Scalar> PrecondMode<'a, S> {
         out
     }
 
+    /// Whether the preconditioner apply is exact enough for the pipelined
+    /// recurrence. The depth-1 lag reconstructs preconditioned directions by
+    /// a linear recurrence instead of a fresh apply, which assumes `M⁻¹` is
+    /// a *fixed, full-precision* linear operator: variable preconditioners
+    /// (inner Krylov smoothers) change between applies, and f32-storage ones
+    /// round each apply at ≈1e-7 — an error the recurrence compounds every
+    /// step instead of resetting. Both are demoted to the fused synchronous
+    /// path by [`BlockArnoldi::with_path`].
+    pub fn recurrence_safe(&self) -> bool {
+        match self {
+            PrecondMode::None => true,
+            PrecondMode::Left(m) | PrecondMode::Right(m) => {
+                !m.is_variable() && m.precision() == PrecondPrecision::Full
+            }
+        }
+    }
+
     /// Iteration-space image of a solution-space direction:
     /// `w = A·d` (left: `M⁻¹·A·d`).
     pub fn apply_op(&self, a: &dyn LinOp<S>, d: &DMat<S>) -> DMat<S> {
@@ -159,6 +176,29 @@ pub struct BlockArnoldi<'a, S: Scalar> {
     pub last_step_rank: usize,
     /// Buffer pool for the per-step `n × p` temporaries (`V_j`, `Z_j`, `W`).
     ws: SpmmWorkspace<S>,
+    /// Pipelined path only: raw operator images `U_i = B·V_i` (`B` the
+    /// iteration-space operator, before any recycle projection), one block
+    /// per completed step — the history the depth-1 recurrence draws on.
+    /// Empty (0×0) on the other paths.
+    u_hist: DMat<S>,
+    /// Pipelined path only: the next step's operator image `W_{j+1} =
+    /// B·V_{j+1}`, reconstructed by the recurrence from the lagged apply —
+    /// `None` after a fallback (the next step re-primes synchronously).
+    w_next: Option<DMat<S>>,
+    /// Pipelined path with right preconditioning: the next step's direction
+    /// `Z_{j+1} = M⁻¹·V_{j+1}`, reconstructed alongside `w_next`.
+    z_next: Option<DMat<S>>,
+    /// Pipelined path with a recycle block: the next step's projection
+    /// coefficients `E_{j+1} = Cᴴ·W_{j+1}`, reconstructed from the lagged
+    /// `Cᴴ·û` reduction (overlapped alongside the Gram reduction) via
+    /// `E_{j+1} = (Cᴴû − E·Sᵥ)·R⁻¹` — the recycle projection then costs no
+    /// synchronous reduction on recurrence steps.
+    e_next: Option<DMat<S>>,
+    /// Steps whose Gram reduction was overlapped with a lagged apply.
+    pipeline_overlapped: usize,
+    /// Steps where the recurrence was abandoned (orthogonality-budget
+    /// refresh or rank deficiency) and the lagged apply discarded.
+    pipeline_fallbacks: usize,
 }
 
 impl<'a, S: Scalar> BlockArnoldi<'a, S> {
@@ -196,6 +236,12 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
             initial_rank: p,
             last_step_rank: p,
             ws: SpmmWorkspace::new(),
+            u_hist: DMat::zeros(0, 0),
+            w_next: None,
+            z_next: None,
+            e_next: None,
+            pipeline_overlapped: 0,
+            pipeline_fallbacks: 0,
         }
     }
 
@@ -206,11 +252,24 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         self
     }
 
-    /// Select the fused (communication-avoiding) or classic orthogonalization
-    /// path. Direct constructor callers default to [`OrthPath::Classic`] —
-    /// the pre-fusion behavior; solvers pass their `SolveOpts::ortho`.
+    /// Select the fused (communication-avoiding), classic, or pipelined
+    /// orthogonalization path. Direct constructor callers default to
+    /// [`OrthPath::Classic`] — the pre-fusion behavior; solvers pass their
+    /// `SolveOpts::ortho`. [`OrthPath::Pipelined`] is demoted to
+    /// [`OrthPath::Fused`] when the preconditioner cannot back the
+    /// recurrence ([`PrecondMode::recurrence_safe`]): variable or
+    /// f32-storage applies would have their rounding compounded by the
+    /// lagged reconstruction instead of reset by a fresh apply.
     pub fn with_path(mut self, path: OrthPath) -> Self {
+        let path = if path == OrthPath::Pipelined && !self.mode.recurrence_safe() {
+            OrthPath::Fused
+        } else {
+            path
+        };
         self.path = path;
+        if path == OrthPath::Pipelined && self.u_hist.nrows() == 0 {
+            self.u_hist = DMat::zeros(self.v.nrows(), self.m * self.p);
+        }
         self
     }
 
@@ -226,11 +285,12 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         let mut q = r0.clone();
         // On the fused path the breakdown fixup must keep replacement
         // columns orthogonal to the recycled block C: the fused Gram
-        // downdate of every later step assumes basis ⊥ C. The classic path
-        // keeps the plain fixup — it re-projects against C explicitly each
-        // step, and its traces must stay bit-identical to the pre-fusion
-        // solver.
-        let out = if self.path == OrthPath::Fused {
+        // downdate of every later step assumes basis ⊥ C. The pipelined
+        // path shares the fixup (its fallback body is the fused one). The
+        // classic path keeps the plain fixup — it re-projects against C
+        // explicitly each step, and its traces must stay bit-identical to
+        // the pre-fusion solver.
+        let out = if matches!(self.path, OrthPath::Fused | OrthPath::Pipelined) {
             let ext: Vec<(&DMat<S>, usize)> = match self.c_proj {
                 Some(cm) => vec![(cm, cm.ncols())],
                 None => Vec::new(),
@@ -247,6 +307,9 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         self.qr.reset(&out.r);
         self.j = 0;
         self.fused_loss = f64::EPSILON;
+        self.w_next = None;
+        self.z_next = None;
+        self.e_next = None;
     }
 
     /// Number of completed block iterations.
@@ -263,6 +326,17 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
     /// estimates after the step.
     pub fn step(&mut self) -> Vec<f64> {
         assert!(self.can_step());
+        // The depth-1 pipelined path needs a *linear* operator composition:
+        // variable (flexible) right preconditioners invalidate the
+        // recurrence, and the per-column MGS/IMGS schemes have no fused Gram
+        // to overlap — those combinations degrade to the fused/classic body
+        // below, like the fused path itself degrades for MGS/IMGS.
+        if self.path == OrthPath::Pipelined
+            && matches!(self.orth, OrthScheme::Cgs | OrthScheme::CholQr)
+            && !matches!(self.mode, PrecondMode::Right(m) if m.is_variable())
+        {
+            return self.step_pipelined();
+        }
         let j = self.j;
         let p = self.p;
         let n = self.v.nrows();
@@ -297,7 +371,7 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
         // built so far. The fused path folds both projections and the Gram
         // matrix into a single reduction per pass (§III-D); the classic path
         // issues one reduction per projection pass plus one for the QR.
-        let fused_path = self.path == OrthPath::Fused
+        let fused_path = matches!(self.path, OrthPath::Fused | OrthPath::Pipelined)
             && matches!(self.orth, OrthScheme::Cgs | OrthScheme::CholQr);
         let (coeffs, rfac) = if fused_path {
             let out = fused_orthogonalize_block(
@@ -372,6 +446,276 @@ impl<'a, S: Scalar> BlockArnoldi<'a, S> {
             .iter()
             .map(|r| r.to_f64())
             .collect()
+    }
+
+    /// The depth-1 pipelined (Ghysels-style) step. Same mathematics as the
+    /// fused step, reordered to hide the Gram reduction:
+    ///
+    /// 1. `W_j = B·V_j` (`B` the iteration-space operator) comes from the
+    ///    previous step's recurrence when available, else a priming apply.
+    /// 2. The recycle block `C` is projected off using coefficients that are
+    ///    either reconstructed from last step's lagged `Cᴴ·û` reduction
+    ///    (recurrence steps — no synchronous reduction) or computed
+    ///    synchronously (priming steps). The captured `E` is exact either
+    ///    way.
+    /// 3. The Gram reduction for step `j` is *started* (split-phase,
+    ///    modeled), then the operator + preconditioner apply feeding step
+    ///    `j+1` runs on the projected block before it is *finished* — the
+    ///    flops of that lagged apply are what hides the reduction latency.
+    /// 4. After the fused orthogonalization `W̃ = V·Sᵥ + V_{j+1}·R`, the next
+    ///    image is reconstructed without touching the operator again:
+    ///    `W_{j+1} = B·V_{j+1} = (B·W̃ − U·Sᵥ)·R⁻¹` with `U_i = B·V_i` the
+    ///    recorded history (and `Z_{j+1} = (M⁻¹·W̃ − Z·Sᵥ)·R⁻¹` for right
+    ///    preconditioning). When the PR-3 orthogonality budget trips (CholQR
+    ///    refresh) or the block loses rank, the reconstruction is invalid —
+    ///    the lagged apply is discarded and the next step re-primes
+    ///    synchronously.
+    fn step_pipelined(&mut self) -> Vec<f64> {
+        let j = self.j;
+        let p = self.p;
+        let n = self.v.nrows();
+        let sz = std::mem::size_of::<S>();
+        // Solution-space direction Z_j: recurrence result, or M⁻¹·V_j.
+        let zj = match self.z_next.take() {
+            Some(z) => z,
+            None => {
+                let mut vj = self.ws.take(n, p);
+                vj.as_mut_slice()
+                    .copy_from_slice(&self.v.as_slice()[j * p * n..(j + 1) * p * n]);
+                match self.mode {
+                    PrecondMode::Right(m) => {
+                        let mut zj = self.ws.take(n, p);
+                        m.apply(&vj, &mut zj);
+                        self.ws.put(vj);
+                        zj
+                    }
+                    _ => vj,
+                }
+            }
+        };
+        // Raw operator image W_j = B·V_j: recurrence result, or priming
+        // synchronous apply (cycle start / after a fallback).
+        let mut w = match self.w_next.take() {
+            Some(w) => w,
+            None => {
+                let mut w = self.ws.take(n, p);
+                match self.mode {
+                    PrecondMode::Left(m) => {
+                        let mut t = self.ws.take(n, p);
+                        self.a.apply(&zj, &mut t);
+                        m.apply(&t, &mut w);
+                        self.ws.put(t);
+                    }
+                    _ => self.a.apply(&zj, &mut w),
+                }
+                w
+            }
+        };
+        self.z.set_block(0, j * p, &zj);
+        self.ws.put(zj);
+        // History for the recurrence: U_j = B·V_j before any projection.
+        self.u_hist.set_block(0, j * p, &w);
+        // Recycle projection. On recurrence steps the coefficients
+        // `E_j = Cᴴ·W_j` were already reconstructed from last step's lagged
+        // `Cᴴ·û` reduction (overlapped — no synchronous reduction here); a
+        // priming step computes them synchronously, classic-style. Either
+        // way the captured E stays exact and the fused call below runs
+        // without a C block.
+        if let Some(c) = self.c_proj {
+            let ecol = match self.e_next.take() {
+                Some(e) => e,
+                None => {
+                    let ecol = blas::adjoint_times(c, &w);
+                    if let Some(st) = self.stats {
+                        st.record_reduction(std::mem::size_of_val(ecol.as_slice()));
+                    }
+                    ecol
+                }
+            };
+            blas::gemm(
+                -S::one(),
+                c,
+                blas::Op::None,
+                &ecol,
+                blas::Op::None,
+                S::one(),
+                &mut w,
+            );
+            self.e.set_block(0, j * p, &ecol);
+        }
+        // Depth-1 lag: apply the operator chain to the projected block NOW —
+        // in a distributed run this work executes between `ireduce_start`
+        // and `ireduce_finish` of the Gram reduction below, so its flops
+        // hide the reduction's latency.
+        let lag = j + 1 < self.m;
+        let lagged = if lag {
+            let _t = kryst_obs::profile(kryst_obs::Phase::ReductionOverlap);
+            let before = self.stats.map(CommStats::snapshot);
+            let pair = match self.mode {
+                PrecondMode::Right(m) => {
+                    let mut t = self.ws.take(n, p);
+                    m.apply(&w, &mut t);
+                    let mut uhat = self.ws.take(n, p);
+                    self.a.apply(&t, &mut uhat);
+                    (uhat, Some(t))
+                }
+                PrecondMode::Left(m) => {
+                    let mut t = self.ws.take(n, p);
+                    self.a.apply(&w, &mut t);
+                    let mut uhat = self.ws.take(n, p);
+                    m.apply(&t, &mut uhat);
+                    self.ws.put(t);
+                    (uhat, None)
+                }
+                PrecondMode::None => {
+                    let mut uhat = self.ws.take(n, p);
+                    self.a.apply(&w, &mut uhat);
+                    (uhat, None)
+                }
+            };
+            // With a recycle block, the next step's projection coefficients
+            // need `Cᴴ·û` — computed here so its reduction is in flight
+            // during the same overlap window as the Gram reduction.
+            let cu = self.c_proj.map(|c| {
+                let cu = blas::adjoint_times(c, &pair.0);
+                if let Some(st) = self.stats {
+                    st.record_overlapped_reduction(1, std::mem::size_of_val(cu.as_slice()));
+                }
+                cu
+            });
+            if let (Some(st), Some(b)) = (self.stats, before) {
+                let d = st.snapshot().since(&b);
+                st.record_reduction_overlap_flops(d.flops as usize);
+            }
+            Some((pair.0, pair.1, cu))
+        } else {
+            None
+        };
+        // Fused orthogonalization against the basis (C already removed).
+        let ncols = (j + 1) * p;
+        let out = fused_orthogonalize_block(
+            None,
+            &self.v,
+            ncols,
+            &mut w,
+            self.orth == OrthScheme::Cgs,
+            self.fused_loss,
+        );
+        self.last_step_rank = out.rank;
+        self.last_passes = out.passes;
+        self.last_amp = out.amp;
+        self.last_refreshed = out.refreshed;
+        if out.passes == 1 {
+            self.fused_loss *= out.amp * out.amp;
+        }
+        if let Some(st) = self.stats {
+            // Only the first pass is in flight during the lagged apply; a
+            // second pass (or refresh) is decided from the first's result
+            // and stays exposed.
+            let parts1 = 1 + usize::from(ncols > 0);
+            let elems1 = (ncols + p) * p;
+            if lag {
+                st.record_overlapped_reduction(parts1, elems1 * sz);
+                if out.reductions > 1 {
+                    st.record_fused_reductions(
+                        out.reductions - 1,
+                        out.reduction_parts - parts1,
+                        (out.reduction_elems - elems1) * sz,
+                    );
+                }
+            } else {
+                st.record_fused_reductions(
+                    out.reductions,
+                    out.reduction_parts,
+                    out.reduction_elems * sz,
+                );
+            }
+        }
+        // Reconstruct the next step's operator image, unless the budget
+        // tripped: a CholQR refresh rewrites the block outside the recorded
+        // coefficients (and rank-deficient blocks inject replacement
+        // columns), so `W̃ = V·Sᵥ + V_{j+1}·R` no longer holds and the
+        // recurrence must fall back to a synchronous apply.
+        if let Some((mut uhat, t, cu)) = lagged {
+            if !out.refreshed && out.rank == p {
+                let u_active = self.u_hist.cols(0, ncols);
+                blas::gemm(
+                    -S::one(),
+                    &u_active,
+                    blas::Op::None,
+                    &out.coeffs,
+                    blas::Op::None,
+                    S::one(),
+                    &mut uhat,
+                );
+                tri::right_solve_upper(&mut uhat, &out.r);
+                self.w_next = Some(uhat);
+                if let Some(mut cu) = cu {
+                    // E_{j+1} = (Cᴴû − E·Sᵥ)·R⁻¹: the stored E columns are
+                    // exactly Cᴴ·U, so the projection coefficients follow
+                    // the same recurrence as the operator image.
+                    let e_active = self.e.cols(0, ncols);
+                    blas::gemm(
+                        -S::one(),
+                        &e_active,
+                        blas::Op::None,
+                        &out.coeffs,
+                        blas::Op::None,
+                        S::one(),
+                        &mut cu,
+                    );
+                    tri::right_solve_upper(&mut cu, &out.r);
+                    self.e_next = Some(cu);
+                }
+                if let Some(mut t) = t {
+                    let z_active = self.z.cols(0, ncols);
+                    blas::gemm(
+                        -S::one(),
+                        &z_active,
+                        blas::Op::None,
+                        &out.coeffs,
+                        blas::Op::None,
+                        S::one(),
+                        &mut t,
+                    );
+                    tri::right_solve_upper(&mut t, &out.r);
+                    self.z_next = Some(t);
+                }
+                self.pipeline_overlapped += 1;
+            } else {
+                self.ws.put(uhat);
+                if let Some(t) = t {
+                    self.ws.put(t);
+                }
+                self.pipeline_fallbacks += 1;
+            }
+        }
+        // Hessenberg assembly and basis append, identical to the other paths.
+        let mut hcol = DMat::zeros((j + 2) * p, p);
+        hcol.set_block(0, 0, &out.coeffs);
+        hcol.set_block((j + 1) * p, 0, &out.r);
+        self.hraw.set_block(0, j * p, &hcol);
+        self.qr.push_block(&hcol);
+        self.v.set_block(0, (j + 1) * p, &w);
+        self.ws.put(w);
+        self.j += 1;
+        self.qr
+            .residual_norms()
+            .iter()
+            .map(|r| r.to_f64())
+            .collect()
+    }
+
+    /// Steps whose Gram reduction overlapped a lagged operator apply (the
+    /// pipelined path's hidden-latency count; 0 on the other paths).
+    pub fn pipeline_overlapped_steps(&self) -> usize {
+        self.pipeline_overlapped
+    }
+
+    /// Steps where the pipelined recurrence was abandoned — orthogonality
+    /// budget (refresh) or rank deficiency — and the lagged apply discarded.
+    pub fn pipeline_fallbacks(&self) -> usize {
+        self.pipeline_fallbacks
     }
 
     /// Least-squares coefficients for the completed iterations.
@@ -581,6 +925,184 @@ mod tests {
             "A·Z ≠ C·E + V·H̄: {}",
             diff.max_abs()
         );
+    }
+
+    #[test]
+    fn pipelined_arnoldi_relation_holds_with_recurrence_active() {
+        // The depth-1 recurrence must reproduce the Arnoldi relation and an
+        // orthonormal basis to solver tolerance, while actually overlapping
+        // steps (not silently falling back every iteration).
+        use kryst_precond::Jacobi;
+        let n = 48;
+        let a = laplace1d(n);
+        let jac = Jacobi::new(&a, 1.0);
+        for (side, p) in [
+            (PrecondSide::Right, 2usize),
+            (PrecondSide::Left, 1),
+            (PrecondSide::Right, 1),
+        ] {
+            let mode = PrecondMode::new(&jac, side);
+            let m = 6;
+            let mut arn = BlockArnoldi::new(&a, &mode, m, p, OrthScheme::CholQr, None, None)
+                .with_path(OrthPath::Pipelined);
+            let r0 = DMat::from_fn(n, p, |i, j| ((i * 3 + j * 7) % 11) as f64 - 5.0);
+            arn.start(&r0);
+            for _ in 0..m {
+                arn.step();
+            }
+            assert!(
+                arn.pipeline_overlapped_steps() >= m - 1,
+                "recurrence never engaged ({side:?})"
+            );
+            // Iteration-space relation: B·Z = V·H̄ with B = A (right: Z holds
+            // M⁻¹V) or B = M⁻¹·A (left: Z holds V).
+            let az = match side {
+                PrecondSide::Left => jac.apply_new(&a.apply(&arn.z_active())),
+                _ => a.apply(&arn.z_active()),
+            };
+            let vh = blas::matmul(
+                &arn.v_active(),
+                blas::Op::None,
+                &arn.hraw_active(),
+                blas::Op::None,
+            );
+            let mut diff = az.clone();
+            diff.axpy(-1.0, &vh);
+            assert!(
+                diff.max_abs() < 1e-9,
+                "pipelined Arnoldi relation violated ({side:?}): {}",
+                diff.max_abs()
+            );
+            let g = blas::adjoint_times(&arn.v_active(), &arn.v_active());
+            for i in 0..g.nrows() {
+                for j in 0..g.ncols() {
+                    let e = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (g[(i, j)] - e).abs() < 1e-9,
+                        "basis orthonormality lost ({side:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_projected_arnoldi_keeps_basis_c_orthogonal() {
+        let n = 30;
+        let a = laplace1d(n);
+        let id = IdentityPrecond::new(n);
+        let mode = PrecondMode::new(&id, PrecondSide::Right);
+        let mut c = DMat::from_fn(n, 2, |i, j| ((i * 7 + j * 3) % 13) as f64 - 6.0);
+        let _ = chol::cholqr(&mut c);
+        let mut arn = BlockArnoldi::new(&a, &mode, 5, 1, OrthScheme::CholQr, Some(&c), None)
+            .with_path(OrthPath::Pipelined);
+        let mut r0 = DMat::from_fn(n, 1, |i, _| (i as f64 * 0.17).sin());
+        let coef = blas::adjoint_times(&c, &r0);
+        blas::gemm(
+            -1.0,
+            &c,
+            blas::Op::None,
+            &coef,
+            blas::Op::None,
+            1.0,
+            &mut r0,
+        );
+        arn.start(&r0);
+        for _ in 0..5 {
+            arn.step();
+        }
+        let g = blas::adjoint_times(&c, &arn.v_active());
+        assert!(g.max_abs() < 1e-9, "CᴴV = {}", g.max_abs());
+        // The captured E stays exact: A·Z = C·E + V·H̄.
+        let az = a.apply(&arn.z_active());
+        let mut rhs = blas::matmul(&c, blas::Op::None, &arn.e_active(), blas::Op::None);
+        let vh = blas::matmul(
+            &arn.v_active(),
+            blas::Op::None,
+            &arn.hraw_active(),
+            blas::Op::None,
+        );
+        rhs.axpy(1.0, &vh);
+        let mut diff = az;
+        diff.axpy(-1.0, &rhs);
+        assert!(diff.max_abs() < 1e-9, "A·Z ≠ C·E + V·H̄: {}", diff.max_abs());
+    }
+
+    #[test]
+    fn pipelined_demotes_to_fused_for_inexact_preconditioners() {
+        // The recurrence assumes a fixed full-precision M⁻¹: f32-storage and
+        // variable preconditioners must fall back to the fused synchronous
+        // path at construction, not compound their apply error step by step.
+        struct Inexact {
+            n: usize,
+            variable: bool,
+        }
+        impl PrecondOp<f64> for Inexact {
+            fn nrows(&self) -> usize {
+                self.n
+            }
+            fn apply(&self, r: &DMat<f64>, z: &mut DMat<f64>) {
+                z.copy_from(r);
+            }
+            fn is_variable(&self) -> bool {
+                self.variable
+            }
+            fn precision(&self) -> PrecondPrecision {
+                if self.variable {
+                    PrecondPrecision::Full
+                } else {
+                    PrecondPrecision::Single
+                }
+            }
+        }
+        let n = 24;
+        let a = laplace1d(n);
+        for variable in [false, true] {
+            let pc = Inexact { n, variable };
+            let mode = PrecondMode::new(&pc, PrecondSide::Right);
+            assert!(!mode.recurrence_safe());
+            let mut arn = BlockArnoldi::new(&a, &mode, 4, 1, OrthScheme::CholQr, None, None)
+                .with_path(OrthPath::Pipelined);
+            assert_eq!(arn.path, OrthPath::Fused);
+            let r0 = DMat::from_fn(n, 1, |i, _| 1.0 + (i % 3) as f64);
+            arn.start(&r0);
+            for _ in 0..4 {
+                arn.step();
+            }
+            assert_eq!(arn.pipeline_overlapped_steps(), 0);
+        }
+        // An exact full-precision preconditioner keeps the pipelined path.
+        let id = IdentityPrecond::new(n);
+        let mode = PrecondMode::new(&id, PrecondSide::Right);
+        assert!(mode.recurrence_safe());
+        let arn = BlockArnoldi::new(&a, &mode, 4, 1, OrthScheme::CholQr, None, None)
+            .with_path(OrthPath::Pipelined);
+        assert_eq!(arn.path, OrthPath::Pipelined);
+    }
+
+    #[test]
+    fn pipelined_records_overlapped_reductions() {
+        use kryst_par::CommStats;
+        let n = 40;
+        let a = laplace1d(n);
+        let id = IdentityPrecond::new(n);
+        let mode = PrecondMode::new(&id, PrecondSide::Right);
+        let stats = CommStats::new_shared();
+        let m = 5;
+        let mut arn = BlockArnoldi::new(&a, &mode, m, 1, OrthScheme::CholQr, None, Some(&stats))
+            .with_path(OrthPath::Pipelined);
+        let r0 = DMat::from_fn(n, 1, |i, _| 1.0 + (i % 3) as f64);
+        arn.start(&r0);
+        for _ in 0..m {
+            arn.step();
+        }
+        let snap = stats.snapshot();
+        // Every step but the last overlaps its first Gram pass.
+        assert_eq!(snap.overlapped_reductions, (m - 1) as u64);
+        assert!(snap.overlapped_parts >= 2 * (m - 1) as u64);
+        // The last step's Gram (no lag partner) stays synchronous, plus the
+        // start-of-cycle CholQR.
+        assert!(snap.reductions >= 2);
     }
 
     #[test]

@@ -46,12 +46,29 @@ pub enum OrthPath {
     /// The classic multi-reduction path (separate `CᴴW`, `VᴴW`-per-pass and
     /// Gram products) — the pre-fusion behavior, golden-trace compatible.
     Classic,
+    /// Latency-hiding path: the fused Gram reduction for step `j` is
+    /// *started* early (split-phase), then the operator + preconditioner
+    /// apply feeding step `j+1` runs before it is finished — the
+    /// Ghysels-style depth-1 lag. The next Krylov direction is reconstructed
+    /// by a linear recurrence instead of a post-reduction apply; the PR-3
+    /// orthogonality-loss budget (re-orthogonalization refresh) forces a
+    /// fallback to the synchronous apply whenever it trips. Applies to the
+    /// CGS/CholQR schemes, like [`OrthPath::Fused`]. Requires a fixed,
+    /// full-precision preconditioner: variable (inner-Krylov) or
+    /// f32-storage applies would have their per-apply error compounded by
+    /// the recurrence, so the cycle demotes those to [`OrthPath::Fused`].
+    Pipelined,
 }
 
 impl OrthPath {
-    /// Resolve from the environment: `KRYST_FUSE=0` selects [`OrthPath::Classic`],
-    /// anything else (including unset) the fused default.
+    /// Resolve from the environment: `KRYST_PIPELINE=1` selects
+    /// [`OrthPath::Pipelined`]; otherwise `KRYST_FUSE=0` selects
+    /// [`OrthPath::Classic`], anything else (including unset) the fused
+    /// default.
     pub fn from_env() -> Self {
+        if matches!(std::env::var("KRYST_PIPELINE"), Ok(v) if v == "1") {
+            return OrthPath::Pipelined;
+        }
         match std::env::var("KRYST_FUSE") {
             Ok(v) if v == "0" => OrthPath::Classic,
             _ => OrthPath::Fused,
@@ -63,6 +80,7 @@ impl OrthPath {
         match self {
             OrthPath::Fused => "fused",
             OrthPath::Classic => "classic",
+            OrthPath::Pipelined => "pipelined",
         }
     }
 }
@@ -88,8 +106,9 @@ pub struct SolveOpts {
     pub side: PrecondSide,
     /// Orthogonalization backend (paper advocates CholQR).
     pub orth: OrthScheme,
-    /// Fused (communication-avoiding) vs classic orthogonalization path.
-    /// Defaults from the `KRYST_FUSE` environment variable (`0` → classic).
+    /// Fused (communication-avoiding) vs pipelined (latency-hiding) vs
+    /// classic orthogonalization path. Defaults from the environment:
+    /// `KRYST_PIPELINE=1` → pipelined, else `KRYST_FUSE=0` → classic.
     pub ortho: OrthPath,
     /// Deflation eigenproblem formulation.
     pub recycle_strategy: RecycleStrategy,

@@ -311,8 +311,10 @@ pub fn solve<S: Scalar>(
     // synthesized iteration events below tile the solve total exactly.
     let orth_name = opts.orth.name();
     let m = opts.restart.max(1);
-    let fused_path = opts.ortho == crate::opts::OrthPath::Fused
-        && matches!(opts.orth, OrthScheme::Cgs | OrthScheme::CholQr);
+    let fused_path = matches!(
+        opts.ortho,
+        crate::opts::OrthPath::Fused | crate::opts::OrthPath::Pipelined
+    ) && matches!(opts.orth, OrthScheme::Cgs | OrthScheme::CholQr);
     for it in 0..iterations {
         if let Some(st) = &opts.stats {
             if fused_path {

@@ -40,7 +40,7 @@ pub const HIST_BUCKETS: usize = 32;
 /// fold into the last per-level slot.
 pub const MAX_PRECOND_LEVELS: usize = 8;
 
-const NUM_SLOTS: usize = 9 + MAX_PRECOND_LEVELS;
+const NUM_SLOTS: usize = 11 + MAX_PRECOND_LEVELS;
 
 /// A solver phase the profiler attributes time to.
 ///
@@ -68,6 +68,14 @@ pub enum Phase {
     /// Low-precision preconditioner sweeps (the f32-storage portion of an
     /// apply; nested inside [`Phase::Precond`]).
     PrecondLp,
+    /// Split-phase reduction work (`ireduce_start`/`finish` bodies and the
+    /// pipelined accounting around them) — the portion of reduction latency
+    /// a pipelined iteration *hides*; exposed latency stays under
+    /// [`Phase::Reduction`].
+    ReductionOverlap,
+    /// Agglomerated AMG coarse solve: the coarse-grid direct solve executed
+    /// on a rank subset (plus the modeled gather/scatter around it).
+    CoarseAgglom,
     /// Per-level AMG cycle work (smoother + residual/transfer at level `l`).
     PrecondLevel(usize),
 }
@@ -84,7 +92,9 @@ impl Phase {
             Phase::RecycleSetup => 6,
             Phase::SpmvMf => 7,
             Phase::PrecondLp => 8,
-            Phase::PrecondLevel(l) => 9 + l.min(MAX_PRECOND_LEVELS - 1),
+            Phase::ReductionOverlap => 9,
+            Phase::CoarseAgglom => 10,
+            Phase::PrecondLevel(l) => 11 + l.min(MAX_PRECOND_LEVELS - 1),
         }
     }
 
@@ -99,7 +109,9 @@ impl Phase {
             6 => Phase::RecycleSetup,
             7 => Phase::SpmvMf,
             8 => Phase::PrecondLp,
-            l => Phase::PrecondLevel(l - 9),
+            9 => Phase::ReductionOverlap,
+            10 => Phase::CoarseAgglom,
+            l => Phase::PrecondLevel(l - 11),
         }
     }
 
@@ -115,6 +127,8 @@ impl Phase {
             Phase::RecycleSetup => "recycle_setup".to_string(),
             Phase::SpmvMf => "spmv_mf".to_string(),
             Phase::PrecondLp => "precond_lp".to_string(),
+            Phase::ReductionOverlap => "reduction_overlap".to_string(),
+            Phase::CoarseAgglom => "coarse_agglom".to_string(),
             Phase::PrecondLevel(l) => format!("precond/l{}", l.min(MAX_PRECOND_LEVELS - 1)),
         }
     }

@@ -148,9 +148,153 @@ impl RankCtx {
         out
     }
 
+    /// Start a split-phase all-reduce: post every message of the butterfly
+    /// that does **not** depend on a prior receive, then return a handle so
+    /// the caller can run independent local work (the lagged SpMV +
+    /// preconditioner apply of a pipelined iteration) while those messages
+    /// are in flight. Complete with [`PendingReduce::finish`] (or
+    /// [`RankCtx::ireduce_finish`]); the result, total message count, and
+    /// stage count are identical to a synchronous
+    /// [`RankCtx::all_reduce_sum`] — only the *placement* of the waiting
+    /// changes.
+    pub fn ireduce_start(&self, local: Vec<f64>) -> PendingReduce<'_> {
+        let _t = kryst_obs::profile(kryst_obs::Phase::ReductionOverlap);
+        let p = self.nranks;
+        let mut sent_stage1 = false;
+        if p > 1 {
+            let r = self.rank;
+            let pow2 = 1usize << p.ilog2();
+            let extras = p - pow2;
+            // Fold-in sends from the excess ranks are dependency-free.
+            if extras > 0 && r >= pow2 {
+                self.send(r - pow2, local.clone());
+            }
+            // Core ranks whose stage-1 payload does not depend on a fold-in
+            // receive can post their first butterfly send immediately.
+            if r < pow2 && r >= extras {
+                self.send(r ^ 1, local.clone());
+                sent_stage1 = true;
+            }
+        }
+        PendingReduce {
+            ctx: self,
+            local,
+            sent_stage1,
+        }
+    }
+
+    /// Split-phase fused all-reduce: like [`RankCtx::ireduce_start`] but
+    /// batching several parts into the one in-flight butterfly (the
+    /// pipelined analogue of [`RankCtx::fused_all_reduce_sum`]).
+    pub fn ifused_reduce_start(&self, parts: &[Vec<f64>]) -> PendingFusedReduce<'_> {
+        let mut buf = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        let mut lens = Vec::with_capacity(parts.len());
+        for part in parts {
+            buf.extend_from_slice(part);
+            lens.push(part.len());
+        }
+        PendingFusedReduce {
+            inner: self.ireduce_start(buf),
+            lens,
+        }
+    }
+
+    /// Complete a split-phase all-reduce (the `ireduce_finish` half of the
+    /// issue's API; equivalent to calling [`PendingReduce::finish`]).
+    pub fn ireduce_finish(&self, pending: PendingReduce<'_>) -> Vec<f64> {
+        pending.finish()
+    }
+
     /// Synchronize all ranks.
     pub fn barrier(&self) {
         self.barrier.wait();
+    }
+}
+
+/// In-flight split-phase all-reduce started by [`RankCtx::ireduce_start`].
+///
+/// Dropping the handle without calling [`PendingReduce::finish`] would leave
+/// partner ranks blocked on their receives, so finishing is not optional in
+/// a multi-rank run — the handle is `#[must_use]`.
+#[must_use = "an in-flight reduction must be finished or partner ranks deadlock"]
+pub struct PendingReduce<'a> {
+    ctx: &'a RankCtx,
+    local: Vec<f64>,
+    sent_stage1: bool,
+}
+
+impl PendingReduce<'_> {
+    /// Complete the butterfly: receive (and where still needed, send) the
+    /// remaining stages and return the fully reduced vector. Result, message
+    /// count, and stage count match [`RankCtx::all_reduce_sum`] exactly.
+    pub fn finish(mut self) -> Vec<f64> {
+        let ctx = self.ctx;
+        let _t = kryst_obs::profile(kryst_obs::Phase::ReductionOverlap);
+        let p = ctx.nranks;
+        if p == 1 {
+            return self.local;
+        }
+        let r = ctx.rank;
+        let pow2 = 1usize << p.ilog2();
+        let extras = p - pow2;
+        if extras > 0 {
+            if r < extras {
+                let other = ctx.recv(r + pow2);
+                for (a, b) in self.local.iter_mut().zip(&other) {
+                    *a += *b;
+                }
+            }
+            ctx.bump_stage();
+        }
+        let mut step = 1;
+        while step < pow2 {
+            if r < pow2 {
+                let partner = r ^ step;
+                // Stage-1 sends may already be on the wire from
+                // `ireduce_start`; everything else goes out now.
+                if step > 1 || !self.sent_stage1 {
+                    ctx.send(partner, self.local.clone());
+                }
+                let other = ctx.recv(partner);
+                for (a, b) in self.local.iter_mut().zip(&other) {
+                    *a += *b;
+                }
+            }
+            ctx.bump_stage();
+            step <<= 1;
+        }
+        if extras > 0 {
+            if r < extras {
+                ctx.send(r + pow2, self.local.clone());
+            } else if r >= pow2 {
+                self.local = ctx.recv(r - pow2);
+            }
+            ctx.bump_stage();
+        }
+        self.local
+    }
+}
+
+/// In-flight split-phase *fused* all-reduce
+/// (see [`RankCtx::ifused_reduce_start`]).
+#[must_use = "an in-flight reduction must be finished or partner ranks deadlock"]
+pub struct PendingFusedReduce<'a> {
+    inner: PendingReduce<'a>,
+    lens: Vec<usize>,
+}
+
+impl PendingFusedReduce<'_> {
+    /// Complete the batched butterfly and split the payload back into its
+    /// parts, in order.
+    pub fn finish(self) -> Vec<Vec<f64>> {
+        let reduced = self.inner.finish();
+        let mut out = Vec::with_capacity(self.lens.len());
+        let mut off = 0;
+        for len in self.lens {
+            out.push(reduced[off..off + len].to_vec());
+            off += len;
+        }
+        out
     }
 }
 
@@ -273,6 +417,54 @@ mod tests {
                 assert_eq!(fused[1], vec![pf + sum_r]);
                 assert_eq!(fused[2], vec![sum_r2, sum_r, pf]);
                 // One latency charge: a single all-reduce's worth of stages.
+                assert_eq!(stages, u64::from(reduce_stages(p)), "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_phase_reduce_matches_synchronous_result_and_stages() {
+        // ireduce_start / finish must reproduce the synchronous butterfly
+        // exactly — same sums on every rank, same stage count, same total
+        // message count — with local work interleaved while in flight.
+        for p in [1usize, 2, 3, 4, 7, 8, 16] {
+            let (results, msgs) = run(p, |ctx| {
+                let pending = ctx.ireduce_start(vec![ctx.rank() as f64, 1.0]);
+                // Independent local work while the reduction is on the wire.
+                let hidden: f64 = (0..1000).map(|i| (i as f64).sqrt()).sum();
+                let reduced = ctx.ireduce_finish(pending);
+                (reduced, ctx.stages(), hidden)
+            });
+            let expect0: f64 = (0..p).map(|r| r as f64).sum();
+            for (reduced, stages, hidden) in &results {
+                assert_eq!(reduced[0], expect0, "p = {p}");
+                assert_eq!(reduced[1], p as f64, "p = {p}");
+                assert_eq!(*stages, u64::from(reduce_stages(p)), "p = {p}");
+                assert!(*hidden > 0.0);
+            }
+            // Message totals identical to the synchronous path.
+            let (_, sync_msgs) = run(p, |ctx| ctx.all_reduce_sum(vec![0.0, 0.0]));
+            assert_eq!(msgs, sync_msgs, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn split_phase_fused_reduce_returns_parts_in_order() {
+        for p in [2usize, 3, 8] {
+            let (results, _) = run(p, |ctx| {
+                let r = ctx.rank() as f64;
+                let parts = vec![vec![r, 2.0 * r], vec![1.0 + r]];
+                let pending = ctx.ifused_reduce_start(&parts);
+                let reduced = pending.finish();
+                (reduced, ctx.stages())
+            });
+            let pf = p as f64;
+            let sum_r: f64 = (0..p).map(|r| r as f64).sum();
+            for (fused, stages) in results {
+                assert_eq!(fused.len(), 2);
+                assert_eq!(fused[0], vec![sum_r, 2.0 * sum_r]);
+                assert_eq!(fused[1], vec![pf + sum_r]);
+                // Still one latency charge.
                 assert_eq!(stages, u64::from(reduce_stages(p)), "p = {p}");
             }
         }

@@ -15,7 +15,7 @@ use crate::jacobi::Jacobi;
 use crate::smoother;
 use kryst_dense::{qr::HouseholderQr, DMat};
 use kryst_obs::{Event, PrecondApplyEvent, Recorder};
-use kryst_par::{PrecondOp, PrecondPrecision};
+use kryst_par::{Layout, PrecondOp, PrecondPrecision};
 use kryst_rt::par::{for_each_range, map_range, max_threads};
 use kryst_scalar::{Demote, Real, Scalar};
 use kryst_sparse::{ops, Coo, Csr, CsrLo, PrecondWorkspace, SparseDirect};
@@ -63,6 +63,15 @@ pub struct AmgOpts {
     pub smoother: SmootherKind,
     /// Prolongator damping numerator (`ω = damping/λ_max`); 4/3 is standard.
     pub damping: f64,
+    /// Agglomerate the modeled coarse solve when the coarse operator has at
+    /// most this many rows (GAMG-style process reduction: gather the coarse
+    /// problem onto a rank subset instead of solving it serially on every
+    /// rank). `0` disables agglomeration entirely.
+    pub agglom_threshold: usize,
+    /// Target coarse rows per participating rank when agglomerating; the
+    /// subset size is `⌈coarse_n / agglom_rows_per_rank⌉` rounded up to a
+    /// power of two and capped by the modeled rank count.
+    pub agglom_rows_per_rank: usize,
 }
 
 impl Default for AmgOpts {
@@ -73,6 +82,8 @@ impl Default for AmgOpts {
             coarse_size: 64,
             smoother: SmootherKind::Chebyshev { degree: 2 },
             damping: 4.0 / 3.0,
+            agglom_threshold: 4096,
+            agglom_rows_per_rank: 32,
         }
     }
 }
@@ -125,20 +136,64 @@ pub struct Amg<S: Demote> {
     /// [`PrecondPrecision::Single`] and a *linear* smoother.
     lo_levels: Option<Vec<LevelLo<S>>>,
     precision: PrecondPrecision,
-    coarse: CoarseSolver<S>,
+    coarse: CoarseSolve<S>,
     variable: bool,
     n: usize,
+    /// Agglomeration sizing rule, kept from [`AmgOpts`] for
+    /// [`Amg::coarse_agglom`].
+    agglom_rows_per_rank: usize,
     recorder: Option<Arc<dyn Recorder>>,
     /// Per-level scratch pool: after one warm-up cycle every V-cycle apply
     /// draws all its level vectors from here and allocates nothing.
     ws: Mutex<PrecondWorkspace<S>>,
 }
 
-enum CoarseSolver<S: Scalar> {
-    Direct(SparseDirect<S>),
-    /// Fallback when the coarse operator is numerically singular:
-    /// regularized direct solve.
-    Regularized(SparseDirect<S>),
+/// Coarse-level direct solve, fully resolved at setup: the factor to use
+/// (of the coarse operator, or of a diagonally shifted copy when the
+/// operator is numerically singular) plus the already-decided policy bits.
+/// The per-V-cycle apply path just calls `f.solve_multi_into` — no
+/// per-apply fallback checks remain.
+struct CoarseSolve<S: Scalar> {
+    f: SparseDirect<S>,
+    /// The factor is of the regularized (shifted) operator.
+    regularized: bool,
+    /// Agglomeration policy fired for this coarse size: applies run under
+    /// the `coarse_agglom` profiler phase and [`Amg::coarse_agglom`] returns
+    /// a redistribution model.
+    agglomerated: bool,
+}
+
+/// Modeled agglomeration of the coarse-level solve onto a rank subset.
+///
+/// In the SPMD model every rank holds the full coarse factor and solves it
+/// redundantly — the coarse solve is a *serial* term on the critical path
+/// that does not shrink with `P`. Agglomeration instead gathers the coarse
+/// right-hand side from the all-ranks [`Layout`] onto a small subset,
+/// solves there, and scatters the correction back; the descriptor carries
+/// the subset layout and the modeled gather/scatter traffic so the cost
+/// model can charge the redistribution honestly.
+#[derive(Debug, Clone)]
+pub struct CoarseAgglom {
+    /// Coarse operator size.
+    pub coarse_n: usize,
+    /// Total ranks in the modeled run.
+    pub ranks: usize,
+    /// Participating subset size (`≤ ranks`, power of two).
+    pub subset: usize,
+    /// Ownership of coarse rows over the subset ranks.
+    pub layout: Layout,
+    /// Point-to-point messages moving coarse RHS rows onto the subset
+    /// (rows already on a subset rank that keeps them don't move).
+    pub gather_msgs: usize,
+    /// Bytes moved by the gather (per solve column).
+    pub gather_bytes: usize,
+    /// Messages scattering the coarse correction back (mirror of gather).
+    pub scatter_msgs: usize,
+    /// Bytes moved by the scatter (per solve column).
+    pub scatter_bytes: usize,
+    /// Modeled substitution flops of the banded coarse solve, per column —
+    /// paid once on the subset instead of redundantly on every rank.
+    pub solve_flops: usize,
 }
 
 impl<S: Demote> Amg<S> {
@@ -188,17 +243,25 @@ impl<S: Demote> Amg<S> {
             acur = ac;
             b = bc;
         }
-        // Coarsest level: direct solve (regularize if singular).
-        let coarse = match SparseDirect::factor(&acur) {
-            Some(f) => CoarseSolver::Direct(f),
+        // Coarsest level: direct solve, resolved ONCE here — singularity
+        // fallback (regularized factor) and the agglomeration policy are
+        // both decided at setup so the per-V-cycle path is branch-free.
+        let (factor, regularized) = match SparseDirect::factor(&acur) {
+            Some(f) => (f, false),
             None => {
                 let shift =
                     S::from_real(acur.inf_norm() * S::Real::epsilon() * S::Real::from_f64(1e6));
                 let reg = acur.shift_diag(shift);
-                CoarseSolver::Regularized(
+                (
                     SparseDirect::factor(&reg).expect("regularized coarse factor"),
+                    true,
                 )
             }
+        };
+        let coarse = CoarseSolve {
+            f: factor,
+            regularized,
+            agglomerated: opts.agglom_threshold > 0 && acur.nrows() <= opts.agglom_threshold,
         };
         let coarse_diag = acur.diag();
         let smoother_impl = make_smoother(&acur, &coarse_diag, &opts.smoother);
@@ -219,6 +282,7 @@ impl<S: Demote> Amg<S> {
             coarse,
             variable,
             n,
+            agglom_rows_per_rank: opts.agglom_rows_per_rank,
             recorder: None,
             ws: Mutex::new(PrecondWorkspace::new()),
         };
@@ -263,6 +327,93 @@ impl<S: Demote> Amg<S> {
         self.levels.iter().map(|l| l.a.nnz() as f64).sum::<f64>() / n0
     }
 
+    /// Coarsest-level solve shared by both V-cycle variants: the factor was
+    /// resolved at setup (regularization already folded in), so this is a
+    /// straight multi-RHS substitution. When the agglomeration policy fired
+    /// the time lands in the `coarse_agglom` profiler phase.
+    fn coarse_solve_ws(
+        &self,
+        l: usize,
+        b: &DMat<S>,
+        x: &mut DMat<S>,
+        ws: &mut PrecondWorkspace<S>,
+    ) {
+        let _t = kryst_obs::profile(kryst_obs::Phase::PrecondLevel(l));
+        let _agg = self
+            .coarse
+            .agglomerated
+            .then(|| kryst_obs::profile(kryst_obs::Phase::CoarseAgglom));
+        let mut scratch = ws.take(b.nrows(), b.ncols());
+        self.coarse.f.solve_multi_into(b, x, &mut scratch, 8, 1);
+        ws.put(scratch);
+    }
+
+    /// The coarse operator was numerically singular and the direct solve
+    /// runs on a diagonally shifted copy (decided once at setup).
+    pub fn coarse_regularized(&self) -> bool {
+        self.coarse.regularized
+    }
+
+    /// Coarse operator size (rows on the coarsest level).
+    pub fn coarse_n(&self) -> usize {
+        self.levels.last().map(|l| l.a.nrows()).unwrap_or(0)
+    }
+
+    /// Redistribution model for the agglomerated coarse solve at `ranks`
+    /// modeled ranks, or `None` when the policy does not fire (single rank,
+    /// agglomeration disabled, or the coarse problem above the threshold).
+    ///
+    /// Subset rule: `⌈coarse_n / agglom_rows_per_rank⌉` rounded up to a
+    /// power of two, capped at `ranks`. Gather traffic is the exact row
+    /// movement between [`Layout::even`]`(coarse_n, ranks)` and
+    /// [`Layout::even`]`(coarse_n, subset)` (rows staying on the same
+    /// physical rank are free); the scatter mirrors it.
+    pub fn coarse_agglom(&self, ranks: usize) -> Option<CoarseAgglom> {
+        if ranks <= 1 || !self.coarse.agglomerated {
+            return None;
+        }
+        let coarse_n = self.coarse.f.n();
+        let per = self.agglom_rows_per_rank.max(1);
+        let subset = coarse_n.div_ceil(per).next_power_of_two().min(ranks).max(1);
+        let src = Layout::even(coarse_n, ranks);
+        let dst = Layout::even(coarse_n, subset);
+        let sz = std::mem::size_of::<S>();
+        let mut gather_msgs = 0usize;
+        let mut gather_bytes = 0usize;
+        for r in 0..ranks {
+            let range = src.range(r);
+            if range.is_empty() {
+                continue;
+            }
+            let d0 = dst.rank_of(range.start);
+            let d1 = dst.rank_of(range.end - 1);
+            for d in d0..=d1 {
+                if d == r {
+                    continue; // rows that stay on the same physical rank
+                }
+                let dr = dst.range(d);
+                let rows = range.end.min(dr.end) - range.start.max(dr.start);
+                if rows > 0 {
+                    gather_msgs += 1;
+                    gather_bytes += rows * sz;
+                }
+            }
+        }
+        // Banded forward + backward substitution per column.
+        let solve_flops = 4 * coarse_n * (self.coarse.f.bandwidth() + 1);
+        Some(CoarseAgglom {
+            coarse_n,
+            ranks,
+            subset,
+            layout: dst,
+            gather_msgs,
+            gather_bytes,
+            scatter_msgs: gather_msgs,
+            scatter_bytes: gather_bytes,
+            solve_flops,
+        })
+    }
+
     fn smooth_ws(&self, l: usize, b: &DMat<S>, x: &mut DMat<S>, ws: &mut PrecondWorkspace<S>) {
         let level = &self.levels[l];
         match &level.smoother {
@@ -304,14 +455,7 @@ impl<S: Demote> Amg<S> {
     /// the single-column cycle.
     fn vcycle_ws(&self, l: usize, b: &DMat<S>, x: &mut DMat<S>, ws: &mut PrecondWorkspace<S>) {
         if l + 1 == self.levels.len() {
-            let _t = kryst_obs::profile(kryst_obs::Phase::PrecondLevel(l));
-            let f = match &self.coarse {
-                CoarseSolver::Direct(f) => f,
-                CoarseSolver::Regularized(f) => f,
-            };
-            let mut scratch = ws.take(b.nrows(), b.ncols());
-            f.solve_multi_into(b, x, &mut scratch, 8, 1);
-            ws.put(scratch);
+            self.coarse_solve_ws(l, b, x, ws);
             return;
         }
         let level = &self.levels[l];
@@ -435,14 +579,7 @@ impl<S: Demote> Amg<S> {
         ws: &mut PrecondWorkspace<S>,
     ) {
         if l + 1 == self.levels.len() {
-            let _t = kryst_obs::profile(kryst_obs::Phase::PrecondLevel(l));
-            let f = match &self.coarse {
-                CoarseSolver::Direct(f) => f,
-                CoarseSolver::Regularized(f) => f,
-            };
-            let mut scratch = ws.take(b.nrows(), b.ncols());
-            f.solve_multi_into(b, x, &mut scratch, 8, 1);
-            ws.put(scratch);
+            self.coarse_solve_ws(l, b, x, ws);
             return;
         }
         let lo = &lo_levels[l];
@@ -1028,6 +1165,93 @@ mod tests {
         let mut diff = zl.clone();
         diff.axpy(-1.0, &zf);
         assert!(diff.fro_norm() < 1e-5 * zf.fro_norm().max(1.0));
+    }
+
+    #[test]
+    fn coarse_agglom_model_picks_subset_and_counts_traffic() {
+        let p = poisson2d::<f64>(32, 32);
+        let amg = Amg::new(&p.a, p.near_nullspace.as_ref(), &AmgOpts::default());
+        let cn = amg.coarse_n();
+        assert!(cn > 0 && cn <= 4096);
+        for ranks in [4usize, 512, 4096, 8192] {
+            let m = amg.coarse_agglom(ranks).expect("policy should fire");
+            assert_eq!(m.coarse_n, cn);
+            assert_eq!(m.ranks, ranks);
+            assert!(m.subset >= 1 && m.subset <= ranks);
+            assert!(m.subset.is_power_of_two());
+            // The subset must actually shrink the participant count at scale.
+            if ranks >= 512 {
+                assert!(m.subset < ranks, "subset {} at P={ranks}", m.subset);
+            }
+            assert_eq!(m.layout.n(), cn);
+            assert_eq!(m.layout.nranks(), m.subset);
+            // Gather moves at most every coarse row once, and the scatter
+            // mirrors it exactly.
+            assert!(m.gather_bytes <= cn * std::mem::size_of::<f64>());
+            assert_eq!(m.gather_bytes, m.scatter_bytes);
+            assert_eq!(m.gather_msgs, m.scatter_msgs);
+            assert!(m.gather_msgs <= ranks + m.subset);
+            assert!(m.solve_flops > 0);
+        }
+        // Subset sizing follows the rows-per-rank rule.
+        let m = amg.coarse_agglom(8192).unwrap();
+        assert_eq!(m.subset, cn.div_ceil(32).next_power_of_two());
+        // Single rank: nothing to agglomerate.
+        assert!(amg.coarse_agglom(1).is_none());
+        // Disabled policy.
+        let off = Amg::new(
+            &p.a,
+            p.near_nullspace.as_ref(),
+            &AmgOpts {
+                agglom_threshold: 0,
+                ..Default::default()
+            },
+        );
+        assert!(off.coarse_agglom(4096).is_none());
+        // Threshold below the coarse size: policy never fires.
+        let high = Amg::new(
+            &p.a,
+            p.near_nullspace.as_ref(),
+            &AmgOpts {
+                agglom_threshold: 1,
+                ..Default::default()
+            },
+        );
+        assert!(high.coarse_agglom(4096).is_none());
+    }
+
+    #[test]
+    fn singular_coarse_regularizes_once_at_setup() {
+        // Identity plus one duplicated row pair (rows 0 and 1 both `[1 1]`):
+        // exactly singular with a unit diagonal, so the coarse factor must
+        // fall back to the shifted copy — decided at setup, visible through
+        // the accessor, and the apply path still produces finite output
+        // without any per-apply re-check.
+        let n = 12;
+        let mut coo = Coo::with_capacity(n, n, n + 2);
+        for i in 0..n {
+            coo.push(i, i, 1.0);
+        }
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a: Csr<f64> = coo.to_csr();
+        let amg = Amg::new(
+            &a,
+            None,
+            &AmgOpts {
+                coarse_size: 64, // no coarsening: the singular A is the coarse op
+                ..Default::default()
+            },
+        );
+        assert_eq!(amg.nlevels(), 1);
+        assert!(amg.coarse_regularized());
+        let r = DMat::from_fn(n, 1, |i, _| (i % 3) as f64);
+        let z = amg.apply_new(&r);
+        assert!(z.as_slice().iter().all(|v| v.is_finite()));
+        // A well-posed operator keeps the direct factor.
+        let p = poisson2d::<f64>(16, 16);
+        let ok = Amg::new(&p.a, p.near_nullspace.as_ref(), &AmgOpts::default());
+        assert!(!ok.coarse_regularized());
     }
 
     #[test]
