@@ -2,7 +2,7 @@
 
 use kryst_dense::gs::OrthScheme;
 use kryst_obs::Recorder;
-use kryst_par::{CommStats, PrecondPrecision};
+use kryst_par::{CommStats, PrecondPrecision, TransportKind};
 use std::sync::Arc;
 
 /// Which side the preconditioner enters on.
@@ -124,6 +124,14 @@ pub struct SolveOpts {
     /// it, solvers warn via the tracer whenever a non-flexible method is
     /// paired with a preconditioner whose `precision()` reports `Single`.
     pub precond_precision: PrecondPrecision,
+    /// Requested transport backend for SPMD execution. Like
+    /// [`SolveOpts::precond_precision`] this is a *carrier knob*: solvers
+    /// never spawn ranks themselves, so drivers and harnesses (the
+    /// equivalence tests, `kryst_prof`, the calibration bin) read it to pick
+    /// the backend for `run_spmd`/`SpmdWorld`. Defaults from the
+    /// `KRYST_TRANSPORT` environment variable (`socket` →
+    /// [`TransportKind::Socket`], else the in-process channel mesh).
+    pub transport: TransportKind,
     /// Optional communication counters (the §III-D accounting).
     pub stats: Option<Arc<CommStats>>,
     /// Optional event sink: every solver emits typed per-iteration events,
@@ -147,6 +155,7 @@ impl Default for SolveOpts {
             recycle_strategy: RecycleStrategy::A,
             same_system: false,
             precond_precision: PrecondPrecision::from_env(),
+            transport: TransportKind::from_env(),
             stats: None,
             recorder: None,
         }

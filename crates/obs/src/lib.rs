@@ -40,7 +40,10 @@
 //!   per-rank communication imbalance and report glue;
 //! * [`diag`] — convergence diagnostics: [`event::DiagEvent`]s for
 //!   orthogonality loss, rank collapse, and Ritz quality, plus the
-//!   [`StagnationDetector`] over the residual history.
+//!   [`StagnationDetector`] over the residual history;
+//! * [`wire`] — wire-level transport counters ([`WireStats`]): messages,
+//!   payload bytes, and per-rank send/recv time as a backend actually put
+//!   them on the wire, the measurement side of the cost-model calibration.
 
 pub mod diag;
 pub mod event;
@@ -49,6 +52,7 @@ pub mod metrics;
 pub mod profiler;
 pub mod recorder;
 pub mod view;
+pub mod wire;
 
 pub use diag::StagnationDetector;
 pub use event::{
@@ -59,3 +63,4 @@ pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profiler::{profile, Phase, PhaseStats, PhaseTimer, ProfileSnapshot, Profiler};
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder, TeeRecorder};
 pub use view::{cumulative_comm, diags_of, history, iteration_events, spans_of};
+pub use wire::{WireSnapshot, WireStats};

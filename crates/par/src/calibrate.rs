@@ -1,0 +1,180 @@
+//! Measured machine constants for the cost model.
+//!
+//! The α–β–γ model in [`crate::cost`] ships with *assumed* Curie-like
+//! constants; this module measures them on an actual [`SpmdWorld`] — either
+//! backend — with the two textbook microbenchmarks:
+//!
+//! * **ping-pong**: a 1-double round trip gives the message latency
+//!   (`alpha_msg` = RTT/2); the *extra* time of a large round trip over the
+//!   small one gives the bandwidth (`beta` = extra bytes / extra time);
+//! * **all-reduce**: a small butterfly all-reduce divided by its stage count
+//!   ([`crate::spmd::reduce_stages`]) gives the per-stage reduction latency
+//!   (`alpha_reduce`);
+//!
+//! plus a local daxpy sweep for the compute rate `gamma`. Feed the result to
+//! [`CostModel::calibrated`](crate::cost::CostModel::calibrated) and the
+//! strong-scaling projections are anchored to wire reality instead of
+//! assumptions — the measured-vs-modeled table `kryst_prof` prints.
+
+use crate::spmd::{reduce_stages, SpmdWorld};
+use crate::transport::TransportError;
+use kryst_obs::json::{fmt_f64, JsonValue};
+
+/// Doubles in the large ping-pong payload (512 KiB: bandwidth-dominated).
+const LARGE_LEN: usize = 65_536;
+
+/// Measured machine constants for one transport backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Backend the constants were measured on (`"channel"` / `"socket"`).
+    pub backend: String,
+    /// World size of the measuring run.
+    pub nranks: usize,
+    /// Point-to-point message latency (seconds): half the small-message RTT.
+    pub alpha_msg: f64,
+    /// Per-stage reduction latency (seconds): small all-reduce time divided
+    /// by its butterfly stage count.
+    pub alpha_reduce: f64,
+    /// Link bandwidth (bytes/second) from the large-vs-small ping-pong
+    /// difference.
+    pub beta: f64,
+    /// Local compute rate (flops/second) from a daxpy sweep.
+    pub gamma: f64,
+}
+
+fn positive_or(v: f64, fallback: f64) -> f64 {
+    if v.is_finite() && v > 0.0 {
+        v
+    } else {
+        fallback
+    }
+}
+
+impl Calibration {
+    /// Run the microbenchmarks on `world` (`reps` timed repetitions each,
+    /// after a short warmup) and distill the constants. Measurements that
+    /// come out non-positive (clock granularity on a very fast backend) fall
+    /// back to the Curie-like defaults so the resulting model is always
+    /// usable.
+    pub fn measure(world: &SpmdWorld, reps: usize) -> Result<Self, TransportError> {
+        let reps = reps.max(1);
+        let defaults = crate::cost::CostModel::curie_like();
+
+        // Warmup: touch every code path once so allocator and socket
+        // buffers are primed before anything is timed.
+        world.ping_pong(1, 4)?;
+        world.ping_pong(LARGE_LEN, 2)?;
+        world.all_reduce(8, 4)?;
+
+        let rtt_small = world.ping_pong(1, reps)?.as_secs_f64() / reps as f64;
+        let rtt_large = world.ping_pong(LARGE_LEN, reps)?.as_secs_f64() / reps as f64;
+        let alpha_msg = positive_or(rtt_small / 2.0, defaults.alpha_msg);
+        // A round trip moves the payload twice; only the excess over the
+        // small RTT is bandwidth.
+        let beta = positive_or(
+            (2 * LARGE_LEN * 8) as f64 / (rtt_large - rtt_small),
+            defaults.beta,
+        );
+
+        let stages = f64::from(reduce_stages(world.nranks())).max(1.0);
+        let t_reduce = world.all_reduce(8, reps)?.as_secs_f64() / reps as f64;
+        let alpha_reduce = positive_or(t_reduce / stages, defaults.alpha_reduce);
+
+        let gamma = positive_or(measure_gamma(), defaults.gamma);
+
+        Ok(Calibration {
+            backend: world.kind().name().to_string(),
+            nranks: world.nranks(),
+            alpha_msg,
+            alpha_reduce,
+            beta,
+            gamma,
+        })
+    }
+
+    /// Serialize as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\":\"{}\",\"nranks\":{},\"alpha_msg\":{},\"alpha_reduce\":{},\
+             \"beta\":{},\"gamma\":{}}}",
+            self.backend,
+            self.nranks,
+            fmt_f64(self.alpha_msg),
+            fmt_f64(self.alpha_reduce),
+            fmt_f64(self.beta),
+            fmt_f64(self.gamma),
+        )
+    }
+
+    /// Parse a [`Calibration::to_json`] document. `None` on malformed input.
+    pub fn from_json(src: &str) -> Option<Self> {
+        let v = JsonValue::parse(src).ok()?;
+        Some(Calibration {
+            backend: v.get("backend")?.as_str()?.to_string(),
+            nranks: v.get("nranks")?.as_usize()?,
+            alpha_msg: v.get("alpha_msg")?.as_f64()?,
+            alpha_reduce: v.get("alpha_reduce")?.as_f64()?,
+            beta: v.get("beta")?.as_f64()?,
+            gamma: v.get("gamma")?.as_f64()?,
+        })
+    }
+}
+
+/// Local compute rate from a daxpy sweep over an L2-busting vector.
+fn measure_gamma() -> f64 {
+    let n = 1 << 20;
+    let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut y = vec![1.0f64; n];
+    // Warmup pass.
+    for (yi, xi) in y.iter_mut().zip(&x) {
+        *yi += 1.000001 * *xi;
+    }
+    let passes = 8;
+    let t0 = std::time::Instant::now();
+    for k in 0..passes {
+        let a = 1.0 + (k as f64 + 1.0) * 1e-9;
+        for (yi, xi) in y.iter_mut().zip(&x) {
+            *yi += a * *xi;
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&y);
+    (2 * n * passes) as f64 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::TransportKind;
+
+    #[test]
+    fn json_round_trips() {
+        let c = Calibration {
+            backend: "socket".into(),
+            nranks: 4,
+            alpha_msg: 1.25e-6,
+            alpha_reduce: 2.5e-6,
+            beta: 3.1e9,
+            gamma: 7.2e9,
+        };
+        assert_eq!(Calibration::from_json(&c.to_json()), Some(c));
+        assert_eq!(Calibration::from_json("{\"backend\":\"x\"}"), None);
+    }
+
+    #[test]
+    fn channel_world_measures_positive_finite_constants() {
+        let world = SpmdWorld::spawn(TransportKind::Channel, 2).expect("world spawns");
+        let c = Calibration::measure(&world, 4).expect("calibration runs");
+        world.shutdown().expect("clean shutdown");
+        for (name, v) in [
+            ("alpha_msg", c.alpha_msg),
+            ("alpha_reduce", c.alpha_reduce),
+            ("beta", c.beta),
+            ("gamma", c.gamma),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} = {v}");
+        }
+        assert_eq!(c.backend, "channel");
+        assert_eq!(c.nranks, 2);
+    }
+}

@@ -62,6 +62,18 @@ impl CostModel {
         }
     }
 
+    /// Constants *measured* on an actual transport backend by the
+    /// calibration pass ([`crate::calibrate::Calibration::measure`]) —
+    /// replaces every assumed default with wire reality.
+    pub fn calibrated(c: &crate::calibrate::Calibration) -> Self {
+        Self {
+            alpha_reduce: c.alpha_reduce,
+            alpha_msg: c.alpha_msg,
+            beta: c.beta,
+            gamma: c.gamma,
+        }
+    }
+
     /// Model the time of the work captured in `snap` on `nranks` ranks.
     ///
     /// `p2p_messages`/`p2p_bytes` in the snapshot are totals over ranks; the

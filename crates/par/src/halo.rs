@@ -8,6 +8,7 @@
 
 #![allow(clippy::needless_range_loop)] // index loops mirror the BLAS/LAPACK reference forms
 
+use crate::transport::{Transport, TransportError};
 use crate::Layout;
 use kryst_scalar::Scalar;
 use kryst_sparse::Csr;
@@ -74,6 +75,105 @@ impl HaloPlan {
     pub fn max_neighbors(&self) -> usize {
         self.recv.iter().map(Vec::len).max().unwrap_or(0)
     }
+
+    /// Execute one exchange of this plan over a [`Transport`], as the
+    /// calling endpoint's rank: post every outgoing message (the plan is
+    /// receive-oriented, so rank `r` sends to each rank `d` whose `recv[d]`
+    /// lists `r` as an owner), then drain the incoming ones. Payloads are
+    /// synthetic (`fill`, `cols` entries per ghost row) of exactly the sizes
+    /// a real multivector exchange would move — this is the *measured* side
+    /// of the plan's modeled message/byte counts. Returns the number of
+    /// scalar entries received.
+    pub fn execute<T: Transport + ?Sized>(
+        &self,
+        t: &T,
+        cols: usize,
+        fill: f64,
+    ) -> Result<usize, TransportError> {
+        let _g = kryst_obs::profile(kryst_obs::Phase::Halo);
+        let r = t.rank();
+        if t.nranks() != self.recv.len() {
+            return Err(TransportError::Protocol {
+                detail: format!(
+                    "halo plan spans {} ranks, transport world is {}",
+                    self.recv.len(),
+                    t.nranks()
+                ),
+            });
+        }
+        // Sends first (buffered on every backend — deadlock-free).
+        for (d, wants) in self.recv.iter().enumerate() {
+            for &(owner, entries) in wants {
+                if owner == r {
+                    t.send(d, &vec![fill; entries * cols])?;
+                }
+            }
+        }
+        let mut got = 0;
+        let mut buf = Vec::new();
+        for &(owner, entries) in &self.recv[r] {
+            t.recv_into(owner, &mut buf)?;
+            if buf.len() != entries * cols {
+                return Err(TransportError::Protocol {
+                    detail: format!(
+                        "halo exchange: rank {r} expected {} entries from {owner}, got {}",
+                        entries * cols,
+                        buf.len()
+                    ),
+                });
+            }
+            got += buf.len();
+        }
+        Ok(got)
+    }
+
+    /// Encode the plan as a flat `f64` frame so a primitive worker can
+    /// rebuild it: `[nranks, then per rank: neighbor count followed by
+    /// (owner, entries) pairs]`.
+    pub fn encode(&self) -> Vec<f64> {
+        let mut out = vec![self.recv.len() as f64];
+        for wants in &self.recv {
+            out.push(wants.len() as f64);
+            for &(owner, entries) in wants {
+                out.push(owner as f64);
+                out.push(entries as f64);
+            }
+        }
+        out
+    }
+
+    /// Rebuild a plan from its [`HaloPlan::encode`] frame (totals are
+    /// recomputed). `None` on a malformed frame.
+    pub fn decode(frame: &[f64]) -> Option<Self> {
+        let mut it = frame.iter().copied();
+        let nranks = it.next()? as usize;
+        let mut recv = Vec::with_capacity(nranks);
+        let mut messages = 0;
+        let mut entries_total = 0;
+        for _ in 0..nranks {
+            let cnt = it.next()? as usize;
+            let mut wants = Vec::with_capacity(cnt);
+            for _ in 0..cnt {
+                let owner = it.next()? as usize;
+                let entries = it.next()? as usize;
+                if owner >= nranks {
+                    return None;
+                }
+                wants.push((owner, entries));
+                messages += 1;
+                entries_total += entries;
+            }
+            recv.push(wants);
+        }
+        if it.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            recv,
+            messages_per_exchange: messages,
+            entries_per_exchange: entries_total,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +214,35 @@ mod tests {
         let plan = HaloPlan::build(&a, &Layout::even(50, 1));
         assert_eq!(plan.messages_per_exchange, 0);
         assert_eq!(plan.entries_per_exchange, 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let a = laplace1d(100);
+        let plan = HaloPlan::build(&a, &Layout::even(100, 4));
+        let decoded = HaloPlan::decode(&plan.encode()).expect("well-formed frame");
+        assert_eq!(decoded.recv, plan.recv);
+        assert_eq!(decoded.messages_per_exchange, plan.messages_per_exchange);
+        assert_eq!(decoded.entries_per_exchange, plan.entries_per_exchange);
+        assert!(HaloPlan::decode(&plan.encode()[1..]).is_none());
+    }
+
+    #[test]
+    fn execute_moves_exactly_the_planned_traffic() {
+        let a = laplace1d(64);
+        let p = 4;
+        let plan = HaloPlan::build(&a, &Layout::even(64, p));
+        let cols = 3;
+        let run = crate::spmd::run_spmd(crate::TransportKind::Channel, p, |t| {
+            let got = plan.execute(t, cols, 1.0)?;
+            Ok(vec![got as f64])
+        })
+        .expect("halo exchange runs");
+        let total_entries: f64 = run.results.iter().map(|r| r[0]).sum();
+        assert_eq!(total_entries, (plan.entries_per_exchange * cols) as f64);
+        assert_eq!(run.messages, plan.messages_per_exchange as u64);
+        let bytes: u64 = run.wire.iter().map(|w| w.bytes_sent).sum();
+        assert_eq!(bytes, plan.bytes_per_exchange(cols, 8) as u64);
     }
 
     #[test]

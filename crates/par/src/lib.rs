@@ -15,14 +15,24 @@
 //! * [`op`] — the operator/preconditioner abstraction shared by `kryst-core`
 //!   and `kryst-precond`, including the instrumented distributed operator
 //!   [`op::DistOp`],
-//! * [`spmd`] — a real message-passing mini-executor (threads + channels)
-//!   used to validate that the counted communication pattern matches a true
-//!   SPMD execution.
+//! * [`transport`] — the [`transport::Transport`] trait with two backends:
+//!   the in-process channel mesh (default) and a socket mesh between real OS
+//!   worker processes (`KRYST_TRANSPORT=socket`), both reporting wire-level
+//!   counters,
+//! * [`collective`] — butterfly all-reduce, split-phase and fused variants,
+//!   and layout redistribution, written once against the trait,
+//! * [`spmd`] — the SPMD runners: closure mode ([`spmd::run_spmd`]) and the
+//!   persistent primitive-worker world ([`spmd::SpmdWorld`]) driving the
+//!   microbenchmarks and cost-model calibration ([`calibrate`]).
 //!
 //! The arithmetic of a "distributed" run is bit-identical to the sequential
-//! sharded execution, so convergence histories are exactly what a real MPI
-//! run with the same reduction order would produce.
+//! sharded execution — and, because both transport backends execute the
+//! identical collective schedule, bit-identical across backends too — so
+//! convergence histories are exactly what a real MPI run with the same
+//! reduction order would produce.
 
+pub mod calibrate;
+pub mod collective;
 pub mod comm;
 pub mod cost;
 pub mod halo;
@@ -30,14 +40,18 @@ pub mod layout;
 pub mod op;
 pub mod report;
 pub mod spmd;
+pub mod transport;
 
+pub use calibrate::Calibration;
 pub use comm::{CommInterval, CommSnapshot, CommStats};
 pub use cost::{CostModel, ModeledTime};
 pub use halo::HaloPlan;
 pub use layout::Layout;
 pub use op::{ApplyRows, DistOp, IdentityPrecond, LinOp, PrecondOp, PrecondPrecision, ProjectedOp};
 pub use report::{
-    comm_from_json, comm_to_json, per_rank_comm, phase_report, publish_imbalance, ModeledRow,
-    PhaseReport, PhaseRow,
+    calibration_table, comm_from_json, comm_to_json, per_rank_comm, phase_report,
+    publish_imbalance, publish_wire, validation_table, ModeledRow, PhaseReport, PhaseRow,
+    ValidationRow,
 };
-pub use spmd::reduce_stages;
+pub use spmd::{maybe_primitive_worker, reduce_stages, run_spmd, SpmdRun, SpmdWorld};
+pub use transport::{ChannelTransport, SocketTransport, Transport, TransportError, TransportKind};

@@ -8,10 +8,11 @@
 //! per-phase wall times from the profiler with α–β–γ modeled communication
 //! time at arbitrary rank counts into one paper-style report table.
 
+use crate::calibrate::Calibration;
 use crate::comm::CommSnapshot;
 use crate::cost::CostModel;
 use crate::halo::HaloPlan;
-use kryst_obs::{MetricsRegistry, ProfileSnapshot};
+use kryst_obs::{MetricsRegistry, ProfileSnapshot, WireSnapshot};
 
 /// Split a global counter snapshot into exact per-rank snapshots.
 ///
@@ -266,6 +267,123 @@ impl PhaseReport {
     }
 }
 
+/// Render the transport calibration table: assumed (Curie-like) constants
+/// next to the constants measured on each backend, one column per
+/// [`Calibration`]. This is the table the prof-smoke CI leg greps for.
+pub fn calibration_table(assumed: &CostModel, cals: &[Calibration]) -> String {
+    let mut s = String::from("transport calibration (measured machine constants):\n");
+    s.push_str(&format!("  {:<14} {:>14}", "constant", "assumed"));
+    for c in cals {
+        s.push_str(&format!(
+            " {:>14}",
+            format!("{}(P={})", c.backend, c.nranks)
+        ));
+    }
+    s.push('\n');
+    type Get = fn(&Calibration) -> f64;
+    let rows: [(&str, f64, Get); 4] = [
+        ("alpha_msg_s", assumed.alpha_msg, |c| c.alpha_msg),
+        ("alpha_reduce_s", assumed.alpha_reduce, |c| c.alpha_reduce),
+        ("beta_B_per_s", assumed.beta, |c| c.beta),
+        ("gamma_flop_s", assumed.gamma, |c| c.gamma),
+    ];
+    for (name, assumed_v, get) in rows {
+        s.push_str(&format!("  {:<14} {:>14.4e}", name, assumed_v));
+        for c in cals {
+            s.push_str(&format!(" {:>14.4e}", get(c)));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// One measured-vs-modeled comparison: a communication pattern replayed on a
+/// real backend against the time the calibrated cost model predicts for it.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// What was replayed (e.g. `"reductions/iter"`, `"halo/iter"`).
+    pub what: String,
+    /// Backend it ran on.
+    pub backend: String,
+    /// World size of the replay.
+    pub nranks: usize,
+    /// Wall seconds measured on the wire.
+    pub measured_s: f64,
+    /// Seconds the calibrated model charges for the same pattern.
+    pub modeled_s: f64,
+}
+
+impl ValidationRow {
+    /// measured / modeled (∞ when the model charges zero).
+    pub fn ratio(&self) -> f64 {
+        if self.modeled_s > 0.0 {
+            self.measured_s / self.modeled_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Render the measured-vs-modeled validation table (the acceptance check:
+/// per-iteration comm time agreeing within 2× on the socket backend).
+pub fn validation_table(rows: &[ValidationRow]) -> String {
+    let mut s = String::from("measured vs modeled comm time:\n");
+    s.push_str(&format!(
+        "  {:<18} {:>10} {:>4} {:>14} {:>14} {:>8}\n",
+        "pattern", "backend", "P", "measured_s", "modeled_s", "ratio"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "  {:<18} {:>10} {:>4} {:>14.6e} {:>14.6e} {:>8.3}\n",
+            r.what,
+            r.backend,
+            r.nranks,
+            r.measured_s,
+            r.modeled_s,
+            r.ratio()
+        ));
+    }
+    s
+}
+
+/// Publish per-rank wire-counter gauges: for each of the six
+/// [`WireSnapshot`] fields this sets `{prefix}_{field}_{max|min|avg}` in
+/// `reg` — the wire-level analogue of [`publish_imbalance`], fed by actual
+/// transport endpoints instead of attributed logical counters.
+pub fn publish_wire(reg: &MetricsRegistry, prefix: &str, wires: &[WireSnapshot]) {
+    type Get = fn(&WireSnapshot) -> u64;
+    let fields: [(&str, Get); 6] = [
+        ("wire_msgs_sent", |w| w.msgs_sent),
+        ("wire_bytes_sent", |w| w.bytes_sent),
+        ("wire_msgs_recv", |w| w.msgs_recv),
+        ("wire_bytes_recv", |w| w.bytes_recv),
+        ("wire_send_ns", |w| w.send_ns),
+        ("wire_recv_ns", |w| w.recv_ns),
+    ];
+    for (name, get) in fields {
+        let mut max = 0u64;
+        let mut min = u64::MAX;
+        let mut sum = 0u64;
+        for w in wires {
+            let x = get(w);
+            max = max.max(x);
+            min = min.min(x);
+            sum += x;
+        }
+        if wires.is_empty() {
+            min = 0;
+        }
+        let avg = if wires.is_empty() {
+            0.0
+        } else {
+            sum as f64 / wires.len() as f64
+        };
+        reg.gauge(&format!("{prefix}_{name}_max")).set(max as f64);
+        reg.gauge(&format!("{prefix}_{name}_min")).set(min as f64);
+        reg.gauge(&format!("{prefix}_{name}_avg")).set(avg);
+    }
+}
+
 /// Serialize a [`CommSnapshot`] as a JSON object.
 pub fn comm_to_json(snap: &CommSnapshot) -> String {
     format!(
@@ -455,6 +573,63 @@ mod tests {
         assert!(text.contains("  1024"));
         // Measured rows are sorted by descending total time.
         assert!(text.find("spmv").unwrap() < text.find("reduction").unwrap());
+    }
+
+    #[test]
+    fn calibration_and_validation_tables_render() {
+        let cal = Calibration {
+            backend: "socket".into(),
+            nranks: 4,
+            alpha_msg: 2.0e-6,
+            alpha_reduce: 3.0e-6,
+            beta: 1.5e9,
+            gamma: 6.0e9,
+        };
+        let table = calibration_table(&CostModel::curie_like(), std::slice::from_ref(&cal));
+        assert!(table.contains("transport calibration"));
+        assert!(table.contains("alpha_reduce_s"));
+        assert!(table.contains("socket(P=4)"));
+        assert!(table.contains("3.0000e-6"));
+        let rows = vec![ValidationRow {
+            what: "reductions/iter".into(),
+            backend: "socket".into(),
+            nranks: 4,
+            measured_s: 2.0e-5,
+            modeled_s: 1.6e-5,
+        }];
+        assert!((rows[0].ratio() - 1.25).abs() < 1e-12);
+        let vtext = validation_table(&rows);
+        assert!(vtext.contains("measured vs modeled"));
+        assert!(vtext.contains("reductions/iter"));
+        assert!(vtext.contains("1.25"));
+    }
+
+    #[test]
+    fn wire_gauges_published() {
+        let reg = MetricsRegistry::new();
+        let wires = vec![
+            WireSnapshot {
+                msgs_sent: 10,
+                bytes_sent: 80,
+                msgs_recv: 12,
+                bytes_recv: 96,
+                send_ns: 500,
+                recv_ns: 900,
+            },
+            WireSnapshot {
+                msgs_sent: 20,
+                bytes_sent: 160,
+                msgs_recv: 18,
+                bytes_recv: 144,
+                send_ns: 700,
+                recv_ns: 1100,
+            },
+        ];
+        publish_wire(&reg, "solve", &wires);
+        assert_eq!(reg.gauge("solve_wire_msgs_sent_max").get(), 20.0);
+        assert_eq!(reg.gauge("solve_wire_msgs_sent_min").get(), 10.0);
+        assert_eq!(reg.gauge("solve_wire_bytes_recv_avg").get(), 120.0);
+        assert_eq!(reg.gauge("solve_wire_recv_ns_max").get(), 1100.0);
     }
 
     #[test]

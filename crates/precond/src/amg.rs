@@ -15,7 +15,8 @@ use crate::jacobi::Jacobi;
 use crate::smoother;
 use kryst_dense::{qr::HouseholderQr, DMat};
 use kryst_obs::{Event, PrecondApplyEvent, Recorder};
-use kryst_par::{Layout, PrecondOp, PrecondPrecision};
+use kryst_par::collective::{redistribute, subset_layout};
+use kryst_par::{Layout, PrecondOp, PrecondPrecision, Transport, TransportError};
 use kryst_rt::par::{for_each_range, map_range, max_threads};
 use kryst_scalar::{Demote, Real, Scalar};
 use kryst_sparse::{ops, Coo, Csr, CsrLo, PrecondWorkspace, SparseDirect};
@@ -194,6 +195,37 @@ pub struct CoarseAgglom {
     /// Modeled substitution flops of the banded coarse solve, per column —
     /// paid once on the subset instead of redundantly on every rank.
     pub solve_flops: usize,
+}
+
+impl CoarseAgglom {
+    /// Execute the gather → subset solve → scatter over a real [`Transport`]
+    /// point-to-point path, as the calling endpoint's rank: gather this
+    /// rank's coarse RHS rows (`local_rows`, the [`Layout::even`] share) onto
+    /// the subset, run `solve` in place on ranks that received rows, and
+    /// scatter the correction back. Returns this rank's corrected rows.
+    ///
+    /// The row movement is exactly the modeled `gather_msgs`/`gather_bytes`
+    /// traffic (for 8-byte scalars), so measured wire counters and the
+    /// [`CoarseAgglom`] charge coincide — asserted by
+    /// `tests/transport_equivalence.rs`.
+    pub fn execute<T: Transport + ?Sized>(
+        &self,
+        t: &T,
+        local_rows: &[f64],
+        solve: impl FnOnce(&mut [f64]),
+    ) -> Result<Vec<f64>, TransportError> {
+        let _g = kryst_obs::profile(kryst_obs::Phase::CoarseAgglom);
+        let src = Layout::even(self.coarse_n, self.ranks);
+        let dst = subset_layout(self.coarse_n, self.ranks, self.subset);
+        let mut gathered = Vec::new();
+        redistribute(t, &src, &dst, local_rows, &mut gathered)?;
+        if !gathered.is_empty() {
+            solve(&mut gathered);
+        }
+        let mut out = Vec::new();
+        redistribute(t, &dst, &src, &gathered, &mut out)?;
+        Ok(out)
+    }
 }
 
 impl<S: Demote> Amg<S> {
