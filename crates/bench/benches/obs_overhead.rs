@@ -103,6 +103,35 @@ fn bench_obs_overhead(c: &mut Criterion) {
             }
         });
     });
+
+    // Distributed-trace spans sit on the same hot paths as the profiler
+    // guards (collectives, halo, preconditioner applies), with the same
+    // discipline: disabled = one relaxed load and no clock read; enabled =
+    // two clock reads + a bounded-ring push. The enabled leg drains the
+    // thread ring each iteration so it measures steady-state pushes, not
+    // the full-ring drop path.
+    kryst_obs::set_trace_enabled(false);
+    c.bench_function("trace_span_disabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                drop(black_box(kryst_obs::traced(
+                    kryst_obs::TraceKind::PrecondApply,
+                )));
+            }
+        });
+    });
+    kryst_obs::set_trace_enabled(true);
+    c.bench_function("trace_span_enabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                drop(black_box(kryst_obs::traced(
+                    kryst_obs::TraceKind::PrecondApply,
+                )));
+            }
+            black_box(kryst_obs::span::drain());
+        });
+    });
+    kryst_obs::set_trace_enabled(false);
 }
 
 criterion_group! {

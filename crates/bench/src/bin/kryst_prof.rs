@@ -29,9 +29,9 @@ use kryst_obs::json::JsonValue;
 use kryst_obs::{JsonlRecorder, MetricsRegistry, ProfileSnapshot, Profiler, Recorder};
 use kryst_par::{
     calibration_table, comm_from_json, comm_to_json, per_rank_comm, phase_report,
-    publish_imbalance, validation_table, Calibration, CommSnapshot, CommStats, CostModel, DistOp,
-    HaloPlan, Layout, LinOp, PrecondOp, PrecondPrecision, SpmdWorld, TransportError, TransportKind,
-    ValidationRow,
+    publish_imbalance, publish_wire, validation_table, Calibration, CommSnapshot, CommStats,
+    CostModel, DistOp, HaloPlan, Layout, LinOp, PrecondOp, PrecondPrecision, SpmdWorld,
+    TransportError, TransportKind, ValidationRow,
 };
 use kryst_pde::poisson::poisson2d;
 use kryst_pde::stencil::PoissonStencil;
@@ -122,17 +122,24 @@ fn bytes_table(dir: &Path) {
             pc_b: pc_f32,
         },
     ];
-    let mut json = String::from("{\"problem\":\"poisson2d 32x32\",\"rows\":[");
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        json.push_str(&format!(
-            "{{\"config\":\"{}\",\"op_b\":{},\"pc_b\":{}}}",
-            r.config, r.op_b, r.pc_b
-        ));
-    }
-    json.push_str("]}");
+    let json = JsonValue::obj(vec![
+        ("problem", "poisson2d 32x32".into()),
+        (
+            "rows",
+            JsonValue::Arr(
+                rows.iter()
+                    .map(|r| {
+                        JsonValue::obj(vec![
+                            ("config", r.config.into()),
+                            ("op_b", r.op_b.into()),
+                            ("pc_b", r.pc_b.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_json();
     write_file(&dir.join("bytes.json"), &json);
 }
 
@@ -208,7 +215,8 @@ fn demo(dir: &Path) {
     run("gcrodr30_10_ilu0", 10, OrthPath::default());
     run("gcrodr30_10_ilu0_pipelined", 10, OrthPath::Pipelined);
     amg_demo(dir, reg);
-    transport_demo(dir, &a);
+    transport_demo(dir, &a, reg);
+    trace_demo(dir, reg);
     write_file(&dir.join("metrics.json"), &reg.snapshot_json());
     bytes_table(dir);
     eprintln!("  [demo] artifacts in {}", dir.display());
@@ -224,8 +232,10 @@ const CAL_RANKS: usize = 4;
 /// all-reduce and one halo exchange of the Fig. 7 operator — on the *live*
 /// world and record the wall time next to what the freshly calibrated model
 /// charges for the same pattern. Writes `calibration.json` for the report's
-/// measured-vs-modeled table (acceptance: within 2× on the socket backend).
-fn transport_demo(dir: &Path, a: &Csr<f64>) {
+/// measured-vs-modeled table (acceptance: within 2× on the socket backend),
+/// and publishes each world's per-rank wire counters as
+/// `transport_{backend}_wire_*` gauges.
+fn transport_demo(dir: &Path, a: &Csr<f64>, reg: &MetricsRegistry) {
     let plan = HaloPlan::build(a, &Layout::even(a.nrows(), CAL_RANKS));
     let mut cals: Vec<Calibration> = Vec::new();
     let mut rows: Vec<ValidationRow> = Vec::new();
@@ -289,35 +299,90 @@ fn transport_demo(dir: &Path, a: &Csr<f64>) {
         if let Err(e) = res {
             eprintln!("  [demo] {}: calibration failed: {e}", kind.name());
         }
-        if let Err(e) = shut {
-            eprintln!("  [demo] {}: world shutdown failed: {e}", kind.name());
+        match shut {
+            // Real measured per-rank wire counters (rank 0 first) from the
+            // transport endpoints themselves, straight into the registry.
+            Ok(wires) => publish_wire(reg, &format!("transport_{}", kind.name()), &wires),
+            Err(e) => eprintln!("  [demo] {}: world shutdown failed: {e}", kind.name()),
         }
     }
-    let mut json = String::from("{\"calibrations\":[");
-    for (i, c) in cals.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        json.push_str(&c.to_json());
-    }
-    json.push_str("],\"validation\":[");
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        json.push_str(&format!(
-            "{{\"what\":\"{}\",\"backend\":\"{}\",\"nranks\":{},\"measured_s\":{:e},\
-             \"modeled_s\":{:e}}}",
-            r.what, r.backend, r.nranks, r.measured_s, r.modeled_s
-        ));
-    }
-    json.push_str("]}");
+    let json = JsonValue::obj(vec![
+        (
+            "calibrations",
+            JsonValue::Arr(cals.iter().map(Calibration::to_json_value).collect()),
+        ),
+        (
+            "validation",
+            JsonValue::Arr(
+                rows.iter()
+                    .map(|r| {
+                        JsonValue::obj(vec![
+                            ("what", r.what.as_str().into()),
+                            ("backend", r.backend.as_str().into()),
+                            ("nranks", r.nranks.into()),
+                            ("measured_s", r.measured_s.into()),
+                            ("modeled_s", r.modeled_s.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_json();
     write_file(&dir.join("calibration.json"), &json);
     eprintln!(
         "  [demo] transport calibration: {} backend(s), {} validation rows",
         cals.len(),
         rows.len()
     );
+}
+
+/// The measured-imbalance section, demo side: run the traced skewed
+/// workload ([`kryst_bench::tracedemo`]) on a small channel world, gather
+/// the merged per-rank timeline, publish the wait-behind-slowest
+/// attribution as `trace_*` registry gauges, and write `timeline.json` for
+/// the report.
+fn trace_demo(dir: &Path, reg: &MetricsRegistry) {
+    let was = kryst_obs::trace_enabled();
+    kryst_obs::set_trace_enabled(true);
+    let res = kryst_par::run_spmd(TransportKind::Channel, CAL_RANKS, |t| {
+        let tl = kryst_bench::tracedemo::skewed_workload(t, 12)?;
+        Ok(tl.map(|tl| tl.encode()).unwrap_or_default())
+    });
+    kryst_obs::set_trace_enabled(was);
+    match res {
+        Ok(run) => match kryst_obs::Timeline::decode(&run.results[0]) {
+            Some(tl) => {
+                tl.imbalance().publish(reg, "trace");
+                write_file(&dir.join("timeline.json"), &tl.to_json());
+                let spans: usize = tl.streams.iter().map(|s| s.spans.len()).sum();
+                eprintln!(
+                    "  [demo] traced workload: {spans} spans over {} ranks",
+                    tl.nranks
+                );
+            }
+            None => eprintln!("  [demo] traced workload returned a malformed timeline"),
+        },
+        Err(e) => eprintln!("  [demo] traced workload failed, skipped: {e}"),
+    }
+}
+
+/// The measured-imbalance section, report side: replay `timeline.json`.
+fn report_trace(dir: &Path) {
+    let Ok(text) = std::fs::read_to_string(dir.join("timeline.json")) else {
+        return;
+    };
+    let Some(tl) = kryst_obs::Timeline::from_json(&text) else {
+        eprintln!("  [report] unparseable timeline.json, skipped");
+        return;
+    };
+    println!(
+        "measured imbalance (gathered trace timeline, P = {}):",
+        tl.nranks
+    );
+    print!("{}", kryst_obs::timeline::phase_table(&tl.phase_totals()));
+    print!("{}", tl.imbalance().to_text());
+    println!();
 }
 
 /// Render the `calibration.json` artifact written by [`transport_demo`]:
@@ -456,31 +521,26 @@ fn amg_demo(dir: &Path, reg: &MetricsRegistry) {
     );
     eprintln!("  [demo] {label}: {} iterations", r.iterations);
     // The redistribution model at each reported rank count.
-    let mut json = format!("{{\"coarse_n\":{},\"rows\":[", amg.coarse_n());
-    let mut first = true;
-    for &p in &RANKS {
-        let Some(m) = amg.coarse_agglom(p) else {
-            continue;
-        };
-        if !first {
-            json.push(',');
-        }
-        first = false;
-        json.push_str(&format!(
-            concat!(
-                "{{\"ranks\":{},\"subset\":{},\"gather_msgs\":{},\"gather_bytes\":{},",
-                "\"scatter_msgs\":{},\"scatter_bytes\":{},\"solve_flops\":{}}}"
-            ),
-            m.ranks,
-            m.subset,
-            m.gather_msgs,
-            m.gather_bytes,
-            m.scatter_msgs,
-            m.scatter_bytes,
-            m.solve_flops
-        ));
-    }
-    json.push_str("]}");
+    let rows: Vec<JsonValue> = RANKS
+        .iter()
+        .filter_map(|&p| amg.coarse_agglom(p))
+        .map(|m| {
+            JsonValue::obj(vec![
+                ("ranks", m.ranks.into()),
+                ("subset", m.subset.into()),
+                ("gather_msgs", m.gather_msgs.into()),
+                ("gather_bytes", m.gather_bytes.into()),
+                ("scatter_msgs", m.scatter_msgs.into()),
+                ("scatter_bytes", m.scatter_bytes.into()),
+                ("solve_flops", m.solve_flops.into()),
+            ])
+        })
+        .collect();
+    let json = JsonValue::obj(vec![
+        ("coarse_n", amg.coarse_n().into()),
+        ("rows", JsonValue::Arr(rows)),
+    ])
+    .to_json();
     write_file(&dir.join("coarse_agglom.json"), &json);
 }
 
@@ -684,6 +744,7 @@ fn report(dir: &Path) -> bool {
     report_latency_hiding(dir, &model);
     report_coarse_agglom(dir, &model);
     report_transport(dir);
+    report_trace(dir);
     report_bytes(dir);
     let metrics = dir.join("metrics.json");
     if let Ok(text) = std::fs::read_to_string(&metrics) {

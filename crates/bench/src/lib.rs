@@ -7,6 +7,7 @@
 //! reports.
 
 pub mod harness;
+pub mod tracedemo;
 
 use kryst_core::{SolveOpts, SolveResult};
 use kryst_obs::{JsonlRecorder, Recorder};

@@ -58,6 +58,9 @@ pub struct SolveTracer {
     pending_diags: RefCell<Vec<DiagEvent>>,
     stagnation: StagnationDetector,
     history: Vec<Vec<f64>>,
+    /// Open distributed-trace span covering the work leading to the next
+    /// iteration event (see `kryst_obs::span`); `None` when tracing is off.
+    iter_span: Option<kryst_obs::span::OpenSpan>,
 }
 
 impl SolveTracer {
@@ -96,6 +99,7 @@ impl SolveTracer {
             pending_diags: RefCell::new(Vec::new()),
             stagnation: StagnationDetector::default_solver(),
             history: Vec::new(),
+            iter_span: kryst_obs::span::begin(kryst_obs::span::TraceKind::Iteration),
         }
     }
 
@@ -115,6 +119,11 @@ impl SolveTracer {
         orth_backend: &'static str,
         breakdown_rank: Option<usize>,
     ) {
+        // Rotate the per-rank trace span: close the one covering this
+        // iteration's work, open the next. One relaxed load when tracing is
+        // off (both calls are no-ops), so results stay bit-identical.
+        kryst_obs::span::end(self.iter_span.take(), 0, 0, self.history.len() as u64);
+        self.iter_span = kryst_obs::span::begin(kryst_obs::span::TraceKind::Iteration);
         if let Some(rec) = &self.rec {
             let comm = self.interval.take().to_delta();
             let now = Instant::now();
@@ -220,6 +229,10 @@ impl SolveTracer {
     /// iteration event, flush it, and emit `SolveEnd`. Returns the history
     /// for [`crate::SolveResult`].
     pub fn finish(mut self, converged: bool, final_relres: &[f64]) -> Vec<Vec<f64>> {
+        // The span opened after the last iteration covers only trailing
+        // work, not an iteration — drop it unrecorded so span counts equal
+        // iteration counts.
+        self.iter_span = None;
         if let Some(r) = self.rec.take() {
             let tail = self.interval.take().to_delta();
             let now = Instant::now();

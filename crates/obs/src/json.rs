@@ -160,6 +160,27 @@ pub fn fmt_f64(x: f64) -> String {
     }
 }
 
+/// Escape `s` into `out` as the *body* of a JSON string (no surrounding
+/// quotes): quotes, backslashes, and control characters are encoded, so any
+/// Rust string round-trips through [`JsonValue::parse`].
+pub fn escape_json_str(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
@@ -239,6 +260,105 @@ impl JsonValue {
             JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
+    }
+
+    /// Build an object from `(key, value)` pairs (source order preserved).
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Build an array of numbers.
+    pub fn nums<I: IntoIterator<Item = f64>>(it: I) -> JsonValue {
+        JsonValue::Arr(it.into_iter().map(JsonValue::Num).collect())
+    }
+
+    /// Serialize this value back to JSON text — the single writer every
+    /// hand-rolled emitter in the workspace funnels through. Whole numbers
+    /// within exact-`f64` range print as integers, everything else uses the
+    /// shortest round-tripping float form; non-finite numbers become `null`;
+    /// strings are escape-correct via [`escape_json_str`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(x) => {
+                const EXACT: f64 = 9.007_199_254_740_992e15; // 2^53
+                if x.is_finite() && x.fract() == 0.0 && x.abs() <= EXACT {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{}", fmt_f64(*x));
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                escape_json_str(s, out);
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json_str(k, out);
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> JsonValue {
+        JsonValue::Num(x)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(x: usize) -> JsonValue {
+        JsonValue::Num(x as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> JsonValue {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> JsonValue {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> JsonValue {
+        JsonValue::Str(s)
     }
 }
 
@@ -513,6 +633,46 @@ mod tests {
         assert_eq!(v.get("o").unwrap().get("k").unwrap().as_bool(), Some(false));
         assert!(JsonValue::parse("{").is_err());
         assert!(JsonValue::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn writer_round_trips_through_parser() {
+        let v = JsonValue::obj(vec![
+            ("backend", JsonValue::from("socket")),
+            ("count", JsonValue::from(42usize)),
+            ("alpha", JsonValue::Num(1.25e-6)),
+            ("ok", JsonValue::from(true)),
+            ("bad", JsonValue::Num(f64::NAN)),
+            ("hist", JsonValue::nums([1.0, 2.0, 0.5])),
+            (
+                "nested",
+                JsonValue::obj(vec![("s", JsonValue::from("a\"b\\c\nd\u{1}"))]),
+            ),
+        ]);
+        let text = v.to_json();
+        let back = JsonValue::parse(&text).expect("writer output parses");
+        assert_eq!(back.get("backend").unwrap().as_str(), Some("socket"));
+        assert_eq!(back.get("count").unwrap().as_usize(), Some(42));
+        assert_eq!(back.get("alpha").unwrap().as_f64(), Some(1.25e-6));
+        assert_eq!(back.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(back.get("bad"), Some(&JsonValue::Null));
+        let hist = back.get("hist").unwrap().as_array().unwrap();
+        assert_eq!(hist[2].as_f64(), Some(0.5));
+        assert_eq!(
+            back.get("nested").unwrap().get("s").unwrap().as_str(),
+            Some("a\"b\\c\nd\u{1}")
+        );
+        // Whole numbers print as integers, not "42.0".
+        assert!(text.contains("\"count\":42,"));
+    }
+
+    #[test]
+    fn writer_escapes_keys_and_control_chars() {
+        let v = JsonValue::obj(vec![("k\"\n", JsonValue::from("\u{7}"))]);
+        let text = v.to_json();
+        assert_eq!(text, "{\"k\\\"\\n\":\"\\u0007\"}");
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back.get("k\"\n").unwrap().as_str(), Some("\u{7}"));
     }
 
     #[test]

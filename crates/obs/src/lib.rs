@@ -43,14 +43,22 @@
 //!   [`StagnationDetector`] over the residual history;
 //! * [`wire`] — wire-level transport counters ([`WireStats`]): messages,
 //!   payload bytes, and per-rank send/recv time as a backend actually put
-//!   them on the wire, the measurement side of the cost-model calibration.
+//!   them on the wire, the measurement side of the cost-model calibration;
+//! * [`span`] / [`timeline`] / [`export`] — distributed tracing: bounded
+//!   per-rank span rings with a monotonic local clock plus a
+//!   collective-edge logical clock, the rank-0 merge into one rank×time
+//!   [`Timeline`] with straggler attribution and reduction-skew
+//!   decomposition, and the Chrome-trace/Perfetto JSON exporter.
 
 pub mod diag;
 pub mod event;
+pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod profiler;
 pub mod recorder;
+pub mod span;
+pub mod timeline;
 pub mod view;
 pub mod wire;
 
@@ -59,8 +67,11 @@ pub use event::{
     CommDelta, DiagEvent, DiagKind, Event, HaloEvent, IterationEvent, PrecondApplyEvent,
     SolveEndEvent, SpanEvent, SpanKind,
 };
+pub use export::chrome_trace;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profiler::{profile, Phase, PhaseStats, PhaseTimer, ProfileSnapshot, Profiler};
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder, TeeRecorder};
+pub use span::{set_trace_enabled, trace_enabled, traced, TraceKind, TraceSpan};
+pub use timeline::{ImbalanceReport, RankStream, Timeline};
 pub use view::{cumulative_comm, diags_of, history, iteration_events, spans_of};
 pub use wire::{WireSnapshot, WireStats};

@@ -1,0 +1,466 @@
+//! Per-rank distributed trace spans.
+//!
+//! Every rank of an SPMD run records timestamped [`TraceSpan`]s — iterations,
+//! collectives (with the wire counters the transport measured), halo
+//! exchanges, preconditioner applies, coarse-agglomeration stages — into a
+//! **bounded per-thread ring**. A rank is one thread (channel backend) or one
+//! process (socket backend), so thread-local storage *is* per-rank storage,
+//! with no cross-rank contention by construction.
+//!
+//! Two clocks ride on every span:
+//!
+//! * a **monotonic local clock** (`start_ns`/`end_ns`, nanoseconds since the
+//!   recording thread's first traced span) — honest local durations, but
+//!   each rank's origin is arbitrary;
+//! * a **collective-edge logical clock** (`seq`) — bumped once per
+//!   collective entered via [`begin_edge`]. Every rank executes the
+//!   identical collective schedule, so equal `seq` values identify the
+//!   *same* collective across ranks even when wall clocks are skewed. Local
+//!   (non-collective) spans carry [`NO_SEQ`].
+//!
+//! The discipline mirrors [`crate::profiler`]: when tracing is disabled
+//! (the default) the hot path is **one relaxed bool load and no clock
+//! read**, so solver results — and golden traces — are bit-identical with
+//! tracing on or off. Enable with `KRYST_TRACE=1` (or by setting
+//! `KRYST_TRACE_TIMELINE=path`, which also selects the Chrome-trace export
+//! target), or at runtime via [`set_trace_enabled`].
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Sentinel `seq` for spans that are not collective edges.
+pub const NO_SEQ: u64 = u64::MAX;
+
+/// Flat-encoding width of one span, in `f64` slots (see
+/// [`TraceSpan::encode_into`]).
+pub const SPAN_FIELDS: usize = 7;
+
+/// Default ring capacity (spans per thread); override with
+/// `KRYST_TRACE_CAP`.
+pub const DEFAULT_RING_CAP: usize = 1 << 16;
+
+/// What a [`TraceSpan`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceKind {
+    /// One solver (block) iteration (`detail` = iteration index).
+    Iteration,
+    /// A butterfly all-reduce, fused or not, split-phase or not (`detail`
+    /// low 32 bits = stage count, bit 32 set for split-phase).
+    Reduction,
+    /// A layout redistribution (the coarse-agglomeration gather/scatter
+    /// primitive).
+    Redistribute,
+    /// One halo exchange (`detail` = scalar entries received).
+    Halo,
+    /// One preconditioner application.
+    PrecondApply,
+    /// Agglomerated coarse solve: gather onto the subset.
+    CoarseGather,
+    /// Agglomerated coarse solve: the subset direct solve.
+    CoarseSolve,
+    /// Agglomerated coarse solve: scatter back to all ranks.
+    CoarseScatter,
+}
+
+impl TraceKind {
+    /// Stable numeric code used by the flat/JSON encodings.
+    pub fn code(self) -> u8 {
+        match self {
+            TraceKind::Iteration => 0,
+            TraceKind::Reduction => 1,
+            TraceKind::Redistribute => 2,
+            TraceKind::Halo => 3,
+            TraceKind::PrecondApply => 4,
+            TraceKind::CoarseGather => 5,
+            TraceKind::CoarseSolve => 6,
+            TraceKind::CoarseScatter => 7,
+        }
+    }
+
+    /// Inverse of [`TraceKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<TraceKind> {
+        Some(match code {
+            0 => TraceKind::Iteration,
+            1 => TraceKind::Reduction,
+            2 => TraceKind::Redistribute,
+            3 => TraceKind::Halo,
+            4 => TraceKind::PrecondApply,
+            5 => TraceKind::CoarseGather,
+            6 => TraceKind::CoarseSolve,
+            7 => TraceKind::CoarseScatter,
+            _ => return None,
+        })
+    }
+
+    /// Display name used by reports and the Chrome-trace export.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Iteration => "iteration",
+            TraceKind::Reduction => "reduction",
+            TraceKind::Redistribute => "redistribute",
+            TraceKind::Halo => "halo",
+            TraceKind::PrecondApply => "precond_apply",
+            TraceKind::CoarseGather => "coarse_gather",
+            TraceKind::CoarseSolve => "coarse_solve",
+            TraceKind::CoarseScatter => "coarse_scatter",
+        }
+    }
+
+    /// Every kind, in code order (for per-kind report tables).
+    pub fn all() -> [TraceKind; 8] {
+        [
+            TraceKind::Iteration,
+            TraceKind::Reduction,
+            TraceKind::Redistribute,
+            TraceKind::Halo,
+            TraceKind::PrecondApply,
+            TraceKind::CoarseGather,
+            TraceKind::CoarseSolve,
+            TraceKind::CoarseScatter,
+        ]
+    }
+}
+
+/// One recorded span. All integer payloads stay below 2⁵³ in practice, so
+/// the flat `f64` encoding used to ship rings across the transport is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// What was measured.
+    pub kind: TraceKind,
+    /// Collective-edge logical clock value, or [`NO_SEQ`] for local spans.
+    pub seq: u64,
+    /// Start, nanoseconds on the recording thread's monotonic clock.
+    pub start_ns: u64,
+    /// End, same clock.
+    pub end_ns: u64,
+    /// Payload bytes this rank put on the wire inside the span.
+    pub bytes: u64,
+    /// Messages this rank put on the wire inside the span.
+    pub msgs: u64,
+    /// Kind-specific detail (see [`TraceKind`] variants).
+    pub detail: u64,
+}
+
+impl TraceSpan {
+    /// Duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Append the [`SPAN_FIELDS`]-slot flat encoding ([`NO_SEQ`] → `-1`).
+    pub fn encode_into(&self, out: &mut Vec<f64>) {
+        out.push(f64::from(self.kind.code()));
+        out.push(if self.seq == NO_SEQ {
+            -1.0
+        } else {
+            self.seq as f64
+        });
+        out.push(self.start_ns as f64);
+        out.push(self.end_ns as f64);
+        out.push(self.bytes as f64);
+        out.push(self.msgs as f64);
+        out.push(self.detail as f64);
+    }
+
+    /// Decode one span from a [`SPAN_FIELDS`]-slot frame slice.
+    pub fn decode(v: &[f64]) -> Option<TraceSpan> {
+        if v.len() != SPAN_FIELDS {
+            return None;
+        }
+        Some(TraceSpan {
+            kind: TraceKind::from_code(v[0] as u8)?,
+            seq: if v[1] < 0.0 { NO_SEQ } else { v[1] as u64 },
+            start_ns: v[2] as u64,
+            end_ns: v[3] as u64,
+            bytes: v[4] as u64,
+            msgs: v[5] as u64,
+            detail: v[6] as u64,
+        })
+    }
+}
+
+fn flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let by_switch = std::env::var("KRYST_TRACE")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        let by_export = std::env::var("KRYST_TRACE_TIMELINE")
+            .map(|p| !p.is_empty())
+            .unwrap_or(false);
+        AtomicBool::new(by_switch || by_export)
+    })
+}
+
+/// Whether span recording is currently on (one relaxed load).
+#[inline]
+pub fn trace_enabled() -> bool {
+    flag().load(Ordering::Relaxed)
+}
+
+/// Turn span recording on or off at runtime (process-wide).
+pub fn set_trace_enabled(on: bool) {
+    flag().store(on, Ordering::Relaxed);
+}
+
+fn ring_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("KRYST_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c: &usize| c > 0)
+            .unwrap_or(DEFAULT_RING_CAP)
+    })
+}
+
+struct ThreadTracer {
+    epoch: Instant,
+    ring: Vec<TraceSpan>,
+    dropped: u64,
+    seq: u64,
+}
+
+thread_local! {
+    static TRACER: RefCell<ThreadTracer> = RefCell::new(ThreadTracer {
+        epoch: Instant::now(),
+        ring: Vec::new(),
+        dropped: 0,
+        seq: 0,
+    });
+}
+
+/// An in-flight span returned by [`begin`]/[`begin_edge`]; finish it with
+/// [`end`]. Not a guard: dropping it without [`end`] simply records nothing.
+#[derive(Debug)]
+pub struct OpenSpan {
+    kind: TraceKind,
+    seq: u64,
+    start_ns: u64,
+}
+
+fn now_ns(tr: &ThreadTracer) -> u64 {
+    tr.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Start a *local* span (no logical-clock bump). `None` — and no clock
+/// read — when tracing is disabled.
+#[inline]
+pub fn begin(kind: TraceKind) -> Option<OpenSpan> {
+    if !trace_enabled() {
+        return None;
+    }
+    Some(TRACER.with(|t| {
+        let tr = t.borrow();
+        OpenSpan {
+            kind,
+            seq: NO_SEQ,
+            start_ns: now_ns(&tr),
+        }
+    }))
+}
+
+/// Start a *collective-edge* span: bumps this rank's logical clock so the
+/// span pairs with the same collective on every other rank. `None` when
+/// tracing is disabled — the logical clock then does not advance, which is
+/// consistent because it does not advance on any rank.
+#[inline]
+pub fn begin_edge(kind: TraceKind) -> Option<OpenSpan> {
+    if !trace_enabled() {
+        return None;
+    }
+    Some(TRACER.with(|t| {
+        let mut tr = t.borrow_mut();
+        let seq = tr.seq;
+        tr.seq += 1;
+        OpenSpan {
+            kind,
+            seq,
+            start_ns: now_ns(&tr),
+        }
+    }))
+}
+
+/// Finish a span, recording it into the thread's ring. A full ring drops
+/// the span and counts it (see [`drain`]). No-op for `None`.
+#[inline]
+pub fn end(open: Option<OpenSpan>, bytes: u64, msgs: u64, detail: u64) {
+    let Some(open) = open else { return };
+    TRACER.with(|t| {
+        let mut tr = t.borrow_mut();
+        let end_ns = now_ns(&tr);
+        if tr.ring.len() >= ring_cap() {
+            tr.dropped += 1;
+            return;
+        }
+        tr.ring.push(TraceSpan {
+            kind: open.kind,
+            seq: open.seq,
+            start_ns: open.start_ns,
+            end_ns,
+            bytes,
+            msgs,
+            detail,
+        });
+    });
+}
+
+/// RAII guard for a local span with no wire payload; records on drop.
+#[must_use = "the span records when the guard drops"]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        end(self.open.take(), 0, 0, 0);
+    }
+}
+
+/// Record a local span over the guard's lifetime (one relaxed load and no
+/// clock read when disabled) — the drop-in companion to
+/// [`crate::profiler::profile`].
+#[inline]
+pub fn traced(kind: TraceKind) -> SpanGuard {
+    SpanGuard { open: begin(kind) }
+}
+
+/// Take every span recorded on this thread plus the overflow count, and
+/// reset the ring, the drop counter, and the logical clock — so each traced
+/// region (one SPMD closure, one solve) drains independently.
+pub fn drain() -> (Vec<TraceSpan>, u64) {
+    TRACER.with(|t| {
+        let mut tr = t.borrow_mut();
+        let spans = std::mem::take(&mut tr.ring);
+        let dropped = tr.dropped;
+        tr.dropped = 0;
+        tr.seq = 0;
+        (spans, dropped)
+    })
+}
+
+/// Clear this thread's ring, drop counter, and logical clock without
+/// returning anything. SPMD runners call this at every rank's entry so a
+/// traced closure starts from a clean, rank-aligned state (rank 0 may be a
+/// long-lived thread; workers replay earlier calls before the real one).
+pub fn reset_thread() {
+    let _ = drain();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enabled flag is process-global; every test here runs against its
+    // own thread-local ring but serializes flag flips through this lock so
+    // parallel test threads cannot race each other's on/off windows.
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_thread();
+        set_trace_enabled(true);
+        let r = f();
+        set_trace_enabled(false);
+        reset_thread();
+        r
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_returns_none() {
+        set_trace_enabled(false);
+        reset_thread();
+        assert!(begin(TraceKind::Halo).is_none());
+        assert!(begin_edge(TraceKind::Reduction).is_none());
+        {
+            let _g = traced(TraceKind::PrecondApply);
+        }
+        let (spans, dropped) = drain();
+        assert!(spans.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn edges_advance_the_logical_clock_and_locals_do_not() {
+        with_tracing(|| {
+            let a = begin_edge(TraceKind::Reduction);
+            end(a, 16, 2, 3);
+            let b = begin(TraceKind::PrecondApply);
+            end(b, 0, 0, 0);
+            let c = begin_edge(TraceKind::Redistribute);
+            end(c, 8, 1, 0);
+            let (spans, dropped) = drain();
+            assert_eq!(dropped, 0);
+            assert_eq!(spans.len(), 3);
+            assert_eq!(spans[0].seq, 0);
+            assert_eq!(spans[1].seq, NO_SEQ);
+            assert_eq!(spans[2].seq, 1);
+            assert_eq!(spans[0].bytes, 16);
+            assert_eq!(spans[0].msgs, 2);
+            assert_eq!(spans[0].detail, 3);
+            assert!(spans[0].end_ns >= spans[0].start_ns);
+            // drain() reset the logical clock.
+            let d = begin_edge(TraceKind::Reduction);
+            assert_eq!(d.as_ref().unwrap().seq, 0);
+            end(d, 0, 0, 0);
+        });
+    }
+
+    #[test]
+    fn guard_records_on_drop() {
+        with_tracing(|| {
+            {
+                let _g = traced(TraceKind::Halo);
+                std::hint::black_box(1 + 1);
+            }
+            let (spans, _) = drain();
+            assert_eq!(spans.len(), 1);
+            assert_eq!(spans[0].kind, TraceKind::Halo);
+        });
+    }
+
+    #[test]
+    fn span_flat_encoding_round_trips() {
+        let s = TraceSpan {
+            kind: TraceKind::CoarseGather,
+            seq: NO_SEQ,
+            start_ns: 123,
+            end_ns: 456,
+            bytes: 7890,
+            msgs: 12,
+            detail: 34,
+        };
+        let mut buf = Vec::new();
+        s.encode_into(&mut buf);
+        assert_eq!(buf.len(), SPAN_FIELDS);
+        assert_eq!(TraceSpan::decode(&buf), Some(s));
+        assert_eq!(TraceSpan::decode(&buf[1..]), None);
+        let mut bad = buf.clone();
+        bad[0] = 99.0;
+        assert_eq!(TraceSpan::decode(&bad), None);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        with_tracing(|| {
+            // Fill past capacity; capacity is large, so synthesize directly.
+            let cap = ring_cap();
+            for i in 0..(cap + 5) {
+                let o = begin(TraceKind::Iteration);
+                end(o, 0, 0, i as u64);
+            }
+            let (spans, dropped) = drain();
+            assert_eq!(spans.len(), cap);
+            assert_eq!(dropped, 5);
+        });
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in TraceKind::all() {
+            assert_eq!(TraceKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(TraceKind::from_code(200), None);
+    }
+}

@@ -18,7 +18,7 @@
 
 use crate::spmd::{reduce_stages, SpmdWorld};
 use crate::transport::TransportError;
-use kryst_obs::json::{fmt_f64, JsonValue};
+use kryst_obs::json::JsonValue;
 
 /// Doubles in the large ping-pong payload (512 KiB: bandwidth-dominated).
 const LARGE_LEN: usize = 65_536;
@@ -92,18 +92,22 @@ impl Calibration {
         })
     }
 
+    /// The calibration as a [`JsonValue`] object (for embedding in larger
+    /// documents).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("backend", self.backend.as_str().into()),
+            ("nranks", self.nranks.into()),
+            ("alpha_msg", self.alpha_msg.into()),
+            ("alpha_reduce", self.alpha_reduce.into()),
+            ("beta", self.beta.into()),
+            ("gamma", self.gamma.into()),
+        ])
+    }
+
     /// Serialize as a single-line JSON object.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"backend\":\"{}\",\"nranks\":{},\"alpha_msg\":{},\"alpha_reduce\":{},\
-             \"beta\":{},\"gamma\":{}}}",
-            self.backend,
-            self.nranks,
-            fmt_f64(self.alpha_msg),
-            fmt_f64(self.alpha_reduce),
-            fmt_f64(self.beta),
-            fmt_f64(self.gamma),
-        )
+        self.to_json_value().to_json()
     }
 
     /// Parse a [`Calibration::to_json`] document. `None` on malformed input.

@@ -101,6 +101,7 @@ impl HaloPlan {
                 ),
             });
         }
+        let trace = crate::trace::edge_begin(t, kryst_obs::span::TraceKind::Halo);
         // Sends first (buffered on every backend — deadlock-free).
         for (d, wants) in self.recv.iter().enumerate() {
             for &(owner, entries) in wants {
@@ -124,6 +125,7 @@ impl HaloPlan {
             }
             got += buf.len();
         }
+        crate::trace::edge_end(t, trace, got as u64);
         Ok(got)
     }
 

@@ -40,6 +40,7 @@ pub mod layout;
 pub mod op;
 pub mod report;
 pub mod spmd;
+pub mod trace;
 pub mod transport;
 
 pub use calibrate::Calibration;
@@ -54,4 +55,5 @@ pub use report::{
     ValidationRow,
 };
 pub use spmd::{maybe_primitive_worker, reduce_stages, run_spmd, SpmdRun, SpmdWorld};
+pub use trace::{gather_timeline, SPLIT_PHASE_BIT};
 pub use transport::{ChannelTransport, SocketTransport, Transport, TransportError, TransportKind};

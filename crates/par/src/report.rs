@@ -347,9 +347,10 @@ pub fn validation_table(rows: &[ValidationRow]) -> String {
 }
 
 /// Publish per-rank wire-counter gauges: for each of the six
-/// [`WireSnapshot`] fields this sets `{prefix}_{field}_{max|min|avg}` in
-/// `reg` — the wire-level analogue of [`publish_imbalance`], fed by actual
-/// transport endpoints instead of attributed logical counters.
+/// [`WireSnapshot`] fields this sets `{prefix}_{field}_{max|min|avg}` plus
+/// one `{prefix}_{field}_rank{r}` gauge per rank in `reg` — the wire-level
+/// analogue of [`publish_imbalance`], fed by actual transport endpoints
+/// (indexed by rank, rank 0 first) instead of attributed logical counters.
 pub fn publish_wire(reg: &MetricsRegistry, prefix: &str, wires: &[WireSnapshot]) {
     type Get = fn(&WireSnapshot) -> u64;
     let fields: [(&str, Get); 6] = [
@@ -364,11 +365,12 @@ pub fn publish_wire(reg: &MetricsRegistry, prefix: &str, wires: &[WireSnapshot])
         let mut max = 0u64;
         let mut min = u64::MAX;
         let mut sum = 0u64;
-        for w in wires {
+        for (r, w) in wires.iter().enumerate() {
             let x = get(w);
             max = max.max(x);
             min = min.min(x);
             sum += x;
+            reg.gauge(&format!("{prefix}_{name}_rank{r}")).set(x as f64);
         }
         if wires.is_empty() {
             min = 0;
@@ -386,25 +388,29 @@ pub fn publish_wire(reg: &MetricsRegistry, prefix: &str, wires: &[WireSnapshot])
 
 /// Serialize a [`CommSnapshot`] as a JSON object.
 pub fn comm_to_json(snap: &CommSnapshot) -> String {
-    format!(
-        concat!(
-            "{{\"reductions\":{},\"reduction_bytes\":{},\"fused_parts\":{},",
-            "\"p2p_messages\":{},\"p2p_bytes\":{},\"flops\":{},\"overlap_flops\":{},",
-            "\"overlapped_reductions\":{},\"overlapped_reduction_bytes\":{},",
-            "\"overlapped_parts\":{},\"reduction_overlap_flops\":{}}}"
+    kryst_obs::json::JsonValue::obj(vec![
+        ("reductions", (snap.reductions as f64).into()),
+        ("reduction_bytes", (snap.reduction_bytes as f64).into()),
+        ("fused_parts", (snap.fused_parts as f64).into()),
+        ("p2p_messages", (snap.p2p_messages as f64).into()),
+        ("p2p_bytes", (snap.p2p_bytes as f64).into()),
+        ("flops", (snap.flops as f64).into()),
+        ("overlap_flops", (snap.overlap_flops as f64).into()),
+        (
+            "overlapped_reductions",
+            (snap.overlapped_reductions as f64).into(),
         ),
-        snap.reductions,
-        snap.reduction_bytes,
-        snap.fused_parts,
-        snap.p2p_messages,
-        snap.p2p_bytes,
-        snap.flops,
-        snap.overlap_flops,
-        snap.overlapped_reductions,
-        snap.overlapped_reduction_bytes,
-        snap.overlapped_parts,
-        snap.reduction_overlap_flops
-    )
+        (
+            "overlapped_reduction_bytes",
+            (snap.overlapped_reduction_bytes as f64).into(),
+        ),
+        ("overlapped_parts", (snap.overlapped_parts as f64).into()),
+        (
+            "reduction_overlap_flops",
+            (snap.reduction_overlap_flops as f64).into(),
+        ),
+    ])
+    .to_json()
 }
 
 /// Parse a [`CommSnapshot`] from the JSON produced by [`comm_to_json`].
@@ -630,6 +636,10 @@ mod tests {
         assert_eq!(reg.gauge("solve_wire_msgs_sent_min").get(), 10.0);
         assert_eq!(reg.gauge("solve_wire_bytes_recv_avg").get(), 120.0);
         assert_eq!(reg.gauge("solve_wire_recv_ns_max").get(), 1100.0);
+        // Per-rank gauges, rank-indexed in slice order.
+        assert_eq!(reg.gauge("solve_wire_msgs_sent_rank0").get(), 10.0);
+        assert_eq!(reg.gauge("solve_wire_msgs_sent_rank1").get(), 20.0);
+        assert_eq!(reg.gauge("solve_wire_bytes_recv_rank1").get(), 144.0);
     }
 
     #[test]

@@ -173,6 +173,8 @@ where
         let mut handles = Vec::with_capacity(nranks);
         for t in mesh {
             handles.push(scope.spawn(move || {
+                // Fresh per-rank trace state: this thread *is* the rank.
+                kryst_obs::span::reset_thread();
                 let res = f(&t);
                 let wire = t.wire().snapshot();
                 // `t` drops here: disconnecting the endpoint is what turns a
@@ -233,6 +235,9 @@ where
     if t.nranks() != nranks {
         std::process::exit(11);
     }
+    // Replayed earlier calls may have recorded spans on this thread; the
+    // targeted call starts from clean, rank-aligned trace state.
+    kryst_obs::span::reset_thread();
     let res = f(&t);
     match res {
         Ok(out) => {
@@ -270,12 +275,21 @@ where
             "--test-threads=1".into(),
         ]
     };
-    let extra_env = vec![
+    let mut extra_env = vec![
         ("KRYST_SPMD_CALL".to_string(), call_idx.to_string()),
         ("KRYST_SPMD_THREAD".to_string(), thread_name.to_string()),
     ];
+    // Tracing may have been enabled at runtime (set_trace_enabled) rather
+    // than via the environment; worker processes must agree, or the logical
+    // clocks diverge across ranks.
+    if kryst_obs::span::trace_enabled() {
+        extra_env.push(("KRYST_TRACE".to_string(), "1".to_string()));
+    }
     let (t, mut children) = spawn_world(nranks, "worker", None, &args, &extra_env)?;
 
+    // Rank 0 runs on the calling thread, which may be long-lived: reset so
+    // its trace state is as fresh as the workers'.
+    kryst_obs::span::reset_thread();
     let r0 = f(&t);
     let r0 = match r0 {
         Ok(v) => v,

@@ -217,13 +217,23 @@ impl CoarseAgglom {
         let _g = kryst_obs::profile(kryst_obs::Phase::CoarseAgglom);
         let src = Layout::even(self.coarse_n, self.ranks);
         let dst = subset_layout(self.coarse_n, self.ranks, self.subset);
+        // Local (per-rank) spans around the three stages; the nested
+        // redistribute calls emit the collective-edge spans that carry wire
+        // deltas and align clocks, so these stay seq-less to avoid counting
+        // the same edge twice.
         let mut gathered = Vec::new();
+        let sp = kryst_obs::span::begin(kryst_obs::span::TraceKind::CoarseGather);
         redistribute(t, &src, &dst, local_rows, &mut gathered)?;
+        kryst_obs::span::end(sp, 0, 0, gathered.len() as u64);
+        let sp = kryst_obs::span::begin(kryst_obs::span::TraceKind::CoarseSolve);
         if !gathered.is_empty() {
             solve(&mut gathered);
         }
+        kryst_obs::span::end(sp, 0, 0, gathered.len() as u64);
         let mut out = Vec::new();
+        let sp = kryst_obs::span::begin(kryst_obs::span::TraceKind::CoarseScatter);
         redistribute(t, &dst, &src, &gathered, &mut out)?;
+        kryst_obs::span::end(sp, 0, 0, out.len() as u64);
         Ok(out)
     }
 }
@@ -684,6 +694,7 @@ impl<S: Demote> PrecondOp<S> for Amg<S> {
     }
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
         let _t = kryst_obs::profile(kryst_obs::Phase::Precond);
+        let _sp = kryst_obs::traced(kryst_obs::TraceKind::PrecondApply);
         // Only read the clock when a recorder is attached (`set_recorder`
         // drops disabled recorders): tracing off ⇒ no `Instant::now()`, no
         // event construction.

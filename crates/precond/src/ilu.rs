@@ -642,6 +642,7 @@ impl<S: Demote> PrecondOp<S> for Ilu0<S> {
     }
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
         let _t = kryst_obs::profile(kryst_obs::Phase::Precond);
+        let _sp = kryst_obs::traced(kryst_obs::TraceKind::PrecondApply);
         if let Some(lo) = &self.lo {
             // Nested attribution: the low-precision sweeps also show up
             // under `precond_lp` so reports can separate the f32-storage

@@ -288,6 +288,7 @@ impl<S: Demote> PrecondOp<S> for Schwarz<S> {
 
     fn apply(&self, r: &DMat<S>, z: &mut DMat<S>) {
         let _t = kryst_obs::profile(kryst_obs::Phase::Precond);
+        let _sp = kryst_obs::traced(kryst_obs::TraceKind::PrecondApply);
         let _lp = (self.precision == PrecondPrecision::Single)
             .then(|| kryst_obs::profile(kryst_obs::Phase::PrecondLp));
         let p = r.ncols();
